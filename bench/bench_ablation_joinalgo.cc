@@ -1,0 +1,56 @@
+// A3: on-device join-algorithm comparison. The paper (Sect. 5, Workloads)
+// states that the BNL-join "is preferred over our grace hash join and
+// enforced for a fair comparison"; NLJ is the naive baseline. This ablation
+// runs the same 2-table on-device join under NLJ, BNLJ, GHJ and BNLJI.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace hybridndp;
+using namespace hybridndp::bench;
+using hybrid::ExecChoice;
+using hybrid::Query;
+using hybrid::Strategy;
+
+int main() {
+  auto env = MakeJobEnv();
+
+  Query q;
+  q.name = "joinalgo";
+  const int64_t hi = static_cast<int64_t>(
+      env->catalog->Get("movie_link")->row_count() / 3);
+  q.tables.push_back({"movie_link", "ml",
+                      exec::Expr::CmpInt("ml.id", exec::CmpOp::kLe, hi)});
+  q.tables.push_back({"movie_keyword", "mk", nullptr});
+  q.joins.push_back({"ml", "movie_id", "mk", "movie_id"});
+  q.select_columns = {"ml.id", "mk.id"};
+
+  auto plan = env->planner->PlanQuery(q);
+  if (!plan.ok()) {
+    fprintf(stderr, "plan failed\n");
+    return 1;
+  }
+
+  printf("\n=== A3: on-device join algorithms (Listing 2 shape) [sim ms] ===\n");
+  printf("%-8s %12s %14s\n", "algo", "NDP ms", "result rows");
+  PrintRule();
+  for (auto algo : {nkv::JoinAlgo::kNLJ, nkv::JoinAlgo::kBNLJ,
+                    nkv::JoinAlgo::kGHJ, nkv::JoinAlgo::kBNLJI}) {
+    hybrid::Plan p = *plan;
+    for (size_t i = 1; i < p.order.size(); ++i) p.order[i].algo = algo;
+    auto r = RunChoice(env.get(), p, {Strategy::kFullNdp, 0});
+    if (!r.ok()) {
+      printf("%-8s (%s)\n", nkv::JoinAlgoName(algo),
+             r.status().ToString().c_str());
+      continue;
+    }
+    printf("%-8s %12.3f %14llu\n", nkv::JoinAlgoName(algo), r->total_ms(),
+           static_cast<unsigned long long>(r->result_rows()));
+  }
+  PrintRule();
+  printf("paper: BNL is preferred over GHJ on-device (partition spills hurt\n"
+         "under the small DRAM budget); BNLJI wins when indices exist; NLJ\n"
+         "re-scans the inner per outer row and loses by orders of magnitude.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// E0: the hardware profiling micro-benchmark (paper Sect. 3.1) and the
+// CoreMark-style compute comparison (paper Sect. 5, Experimental Setup:
+// host 92343 it/s vs single ARM core 2964 it/s).
+
+#include <cstdio>
+
+#include "sim/profiler.h"
+
+using namespace hybridndp;
+
+int main() {
+  sim::HwParams platform = sim::HwParams::PaperDefaults();
+  printf("=== Hardware model (paper Table 2 parameters) ===\n%s\n\n",
+         platform.ToString().c_str());
+
+  sim::HardwareProfiler profiler(platform);
+  sim::ProfileReport report = profiler.Run();
+  printf("=== Profiler micro-benchmark (run before DBMS startup) ===\n%s\n\n",
+         report.ToString().c_str());
+
+  sim::HwParams derived = profiler.DeriveParams(report);
+  printf("=== Derived parameter set ===\n");
+  printf("ndp_hw_FCF  = %.3f\n", derived.ndp_flash_clock);
+  printf("host_hw_FCF = %.3f\n", derived.host_flash_clock);
+  printf("hw_CME host = %.2f GB/s, device = %.2f GB/s\n",
+         derived.host_cpu.memcpy_bytes_per_sec / 1e9,
+         derived.device_cpu.memcpy_bytes_per_sec / 1e9);
+  printf("compute ratio host:device = %.1fx (paper: 92343/2964 = %.1fx)\n",
+         derived.ComputeRatio(), 92343.0 / 2964.0);
+  return 0;
+}

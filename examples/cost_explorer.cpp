@@ -1,0 +1,115 @@
+// Cost-model explorer: how the hybridNDP offloading decision reacts to the
+// hardware model (paper Sect. 7, Discussion — the HW-model generalizes to
+// other accelerators). Sweeps the interconnect generation and the device
+// compute power, re-planning the same query under each configuration.
+//
+//   ./build/examples/cost_explorer
+
+#include <cstdio>
+
+#include "hybrid/executor.h"
+#include "hybrid/planner.h"
+#include "job/generator.h"
+#include "job/queries.h"
+
+using namespace hybridndp;
+
+namespace {
+
+struct Setup {
+  sim::HwParams hw;
+  std::unique_ptr<lsm::VirtualStorage> storage;
+  std::unique_ptr<lsm::DB> db;
+  std::unique_ptr<rel::Catalog> catalog;
+};
+
+std::unique_ptr<Setup> Build(const sim::HwParams& hw) {
+  auto s = std::make_unique<Setup>();
+  s->hw = hw;
+  s->storage = std::make_unique<lsm::VirtualStorage>(&s->hw);
+  lsm::DBOptions db_opts;
+  db_opts.memtable_bytes = 512 << 10;
+  s->db = std::make_unique<lsm::DB>(s->storage.get(), db_opts);
+  s->catalog = std::make_unique<rel::Catalog>(s->db.get());
+  job::JobDataOptions data_opts;
+  data_opts.scale = 0.0005;
+  if (!job::BuildJobDatabase(s->catalog.get(), data_opts).ok()) return nullptr;
+  return s;
+}
+
+sim::HwParams BaseHw() {
+  sim::HwParams hw = sim::HwParams::PaperDefaults();
+  hw.mem.device_ndp_budget_bytes = 3 << 20;
+  hw.mem.device_selection_bytes = 96 << 10;
+  hw.mem.device_join_bytes = 48 << 10;
+  return hw;
+}
+
+hybrid::PlannerConfig Config() {
+  hybrid::PlannerConfig cfg;
+  cfg.buffers.selection_buffer_bytes = 96 << 10;
+  cfg.buffers.join_buffer_bytes = 48 << 10;
+  cfg.buffers.shared_slot_bytes = 16 << 10;
+  cfg.buffers.shared_slots = 4;
+  return cfg;
+}
+
+void Explore(const char* label, Setup* s) {
+  hybrid::Planner planner(s->catalog.get(), &s->hw, Config());
+  hybrid::HybridExecutor executor(s->catalog.get(), s->storage.get(), &s->hw,
+                                  Config());
+  auto query = job::MakeJobQuery({8, 'c'});
+  auto plan = planner.PlanQuery(*query);
+  if (!plan.ok()) return;
+
+  double best_t = -1;
+  hybrid::ExecChoice best;
+  for (const auto& choice : hybrid::HybridExecutor::AllChoices(*plan)) {
+    lsm::BlockCache cache(s->storage->TotalBytes() * 2 / 5);
+    auto r = executor.Run(*plan, choice, &cache);
+    if (!r.ok()) continue;
+    if (best_t < 0 || r->total_ms() < best_t) {
+      best_t = r->total_ms();
+      best = choice;
+    }
+  }
+  printf("%-34s planner: %-12s measured best: %-12s (%.2f ms)\n", label,
+         plan->recommended.ToString().c_str(), best.ToString().c_str(),
+         best_t);
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Q8c offloading decision across hardware configurations ===\n\n");
+
+  printf("-- interconnect sweep (faster PCIe favors the host) --\n");
+  for (int gen : {1, 2, 3, 4}) {
+    sim::HwParams hw = BaseHw();
+    hw.pcie.version = gen;
+    auto s = Build(hw);
+    if (!s) return 1;
+    char label[64];
+    snprintf(label, sizeof(label), "PCIe gen%d x8 (%.1f GB/s)", gen,
+             hw.pcie.BytesPerSec() / 1e9);
+    Explore(label, s.get());
+  }
+
+  printf("\n-- device compute sweep (enterprise-class smart storage) --\n");
+  for (double factor : {0.5, 1.0, 4.0, 16.0}) {
+    sim::HwParams hw = BaseHw();
+    hw.device_cpu.effective_hz *= factor;
+    hw.device_cpu.coremark_score *= factor;
+    auto s = Build(hw);
+    if (!s) return 1;
+    char label[64];
+    snprintf(label, sizeof(label), "device compute x%.1f (ratio %.0f:1)",
+             factor, hw.ComputeRatio());
+    Explore(label, s.get());
+  }
+
+  printf("\npaper Sect. 7: consumer-class devices favor data-movement\n"
+         "reduction (early splits); more compute shifts the balance toward\n"
+         "deeper offloading.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// JOB demo: build the scaled Join-Order-Benchmark database, pick a query
+// (default: the paper's Q8c), explain the hybridNDP plan, and execute it
+// under every strategy.
+//
+//   ./build/examples/job_hybrid_demo [group] [variant] [scale]
+//   ./build/examples/job_hybrid_demo 17 b 0.001
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "hybrid/executor.h"
+#include "hybrid/planner.h"
+#include "job/generator.h"
+#include "job/queries.h"
+
+using namespace hybridndp;
+
+int main(int argc, char** argv) {
+  const int group = argc > 1 ? atoi(argv[1]) : 8;
+  const char variant = argc > 2 ? argv[2][0] : 'c';
+  const double scale = argc > 3 ? atof(argv[3]) : 0.0005;
+
+  sim::HwParams hw = sim::HwParams::PaperDefaults();
+  hw.mem.device_ndp_budget_bytes = 3 << 20;
+  hw.mem.device_selection_bytes = 96 << 10;
+  hw.mem.device_join_bytes = 48 << 10;
+
+  lsm::VirtualStorage storage(&hw);
+  lsm::DBOptions db_opts;
+  db_opts.memtable_bytes = 512 << 10;
+  lsm::DB db(&storage, db_opts);
+  rel::Catalog catalog(&db);
+
+  printf("Building JOB database at scale %g ...\n", scale);
+  job::JobDataOptions data_opts;
+  data_opts.scale = scale;
+  Status st = job::BuildJobDatabase(&catalog, data_opts);
+  if (!st.ok()) {
+    fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  auto query = job::MakeJobQuery({group, variant});
+  if (!query.ok()) {
+    fprintf(stderr, "unknown query %d%c\n", group, variant);
+    return 1;
+  }
+
+  hybrid::PlannerConfig cfg;
+  cfg.buffers.selection_buffer_bytes = 96 << 10;
+  cfg.buffers.join_buffer_bytes = 48 << 10;
+  cfg.buffers.shared_slot_bytes = 16 << 10;
+  cfg.buffers.shared_slots = 4;
+
+  hybrid::Planner planner(&catalog, &hw, cfg);
+  auto plan = planner.PlanQuery(*query);
+  if (!plan.ok()) {
+    fprintf(stderr, "planning failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  printf("\n%s\n", plan->Explain().c_str());
+
+  hybrid::HybridExecutor executor(&catalog, &storage, &hw, cfg);
+  printf("%-14s %12s %12s %14s %12s\n", "strategy", "total ms", "waits ms",
+         "interm. rows", "batches");
+  for (const auto& choice : hybrid::HybridExecutor::AllChoices(*plan)) {
+    lsm::BlockCache cache(storage.TotalBytes() * 2 / 5);
+    auto r = executor.Run(*plan, choice, &cache);
+    if (!r.ok()) {
+      printf("%-14s (%s)\n", choice.ToString().c_str(),
+             r.status().ToString().c_str());
+      continue;
+    }
+    printf("%-14s %12.3f %12.3f %14llu %12d\n", choice.ToString().c_str(),
+           r->total_ms(),
+           (r->host_stages.initial_wait + r->host_stages.later_waits) /
+               kNanosPerMilli,
+           static_cast<unsigned long long>(r->device_rows), r->num_batches);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Bump-pointer arena used by the MemTable skiplist (mirrors leveldb::Arena).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hybridndp {
+
+/// Allocates memory in blocks; individual allocations are never freed, the
+/// whole arena is released at once.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate `bytes` with natural alignment for pointers.
+  char* Allocate(size_t bytes);
+
+  /// Total bytes reserved by the arena (capacity, not live data).
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  static constexpr size_t kBlockSize = 4096;
+
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t memory_usage_ = 0;
+};
+
+}  // namespace hybridndp

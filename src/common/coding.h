@@ -1,0 +1,75 @@
+// Little-endian fixed-width and varint encodings (LevelDB-compatible style),
+// used by block, SST, and row codecs.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace hybridndp {
+
+inline void EncodeFixed32(char* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { memcpy(dst, &v, 8); }
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+/// Append a LEB128 varint32 to dst.
+void PutVarint32(std::string* dst, uint32_t v);
+/// Append a LEB128 varint64 to dst.
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Parse a varint32 from [p, limit); returns the byte after the varint or
+/// nullptr on malformed input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Consume a varint32 from the front of *input. Returns false on corruption.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Append varint-length-prefixed bytes.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+/// Consume varint-length-prefixed bytes from the front of *input.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Bytes a varint32 encoding of v occupies.
+int VarintLength(uint64_t v);
+
+/// Encode a signed 32-bit integer so unsigned byte-order equals numeric order
+/// (flips the sign bit); used for order-preserving integer keys.
+inline uint32_t EncodeOrderedInt32(int32_t v) {
+  return static_cast<uint32_t>(v) ^ 0x80000000u;
+}
+inline int32_t DecodeOrderedInt32(uint32_t v) {
+  return static_cast<int32_t>(v ^ 0x80000000u);
+}
+
+/// Append a 4-byte big-endian order-preserving encoding of v.
+void PutOrderedInt32(std::string* dst, int32_t v);
+/// Decode a 4-byte big-endian order-preserving int32.
+int32_t GetOrderedInt32(const char* src);
+
+}  // namespace hybridndp

@@ -1,0 +1,50 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace hybridndp {
+
+namespace {
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ull;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ull;
+
+inline uint64_t Rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+inline uint64_t Mix(uint64_t h) {
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+}  // namespace
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  uint64_t h = seed + kPrime1 + n;
+  const char* p = data;
+  const char* end = data + n;
+  while (p + 8 <= end) {
+    uint64_t k;
+    memcpy(&k, p, 8);
+    h ^= Rotl(k * kPrime2, 31) * kPrime1;
+    h = Rotl(h, 27) * kPrime1 + kPrime3;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    uint32_t k;
+    memcpy(&k, p, 4);
+    h ^= static_cast<uint64_t>(k) * kPrime1;
+    h = Rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<unsigned char>(*p) * kPrime3;
+    h = Rotl(h, 11) * kPrime1;
+    ++p;
+  }
+  return Mix(h);
+}
+
+}  // namespace hybridndp

@@ -1,0 +1,27 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace hybridndp {
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF approximation: rank ~ n * u^(1/(1-theta)) for theta < 1;
+  // for theta >= 1 fall back to a steep power law.
+  const double u = NextDouble();
+  double exponent = theta < 0.999 ? 1.0 / (1.0 - theta) : 8.0;
+  double r = std::pow(u, exponent) * static_cast<double>(n);
+  uint64_t rank = static_cast<uint64_t>(r);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+std::string Rng::NextString(size_t n) {
+  std::string s(n, 'a');
+  for (size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<char>('a' + Uniform(26));
+  }
+  return s;
+}
+
+}  // namespace hybridndp

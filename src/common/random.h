@@ -1,0 +1,57 @@
+// Deterministic pseudo-random generation (splitmix64 + xoshiro-style),
+// used by the data generator, skiplist heights, and tests. Determinism is a
+// hard requirement: all experiments must be exactly reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hybridndp {
+
+/// Small, fast, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed) { state_ = Mix(seed); }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    state_ = Mix(state_);
+    return state_;
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p (p in [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed rank in [0, n) with exponent theta — cheap inverse-CDF
+  /// approximation adequate for workload skew.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Random lowercase ASCII string of length n.
+  std::string NextString(size_t n);
+
+ private:
+  static uint64_t Mix(uint64_t z) {
+    z += 0x9E3779B97f4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_;
+};
+
+}  // namespace hybridndp

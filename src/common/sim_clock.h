@@ -1,0 +1,33 @@
+// Simulated-time primitives. All performance numbers in this repository are
+// accounted on simulated clocks driven by the hardware model, never on
+// wall-clock time, so every experiment is exactly reproducible.
+
+#pragma once
+
+#include <cstdint>
+
+namespace hybridndp {
+
+/// Simulated nanoseconds.
+using SimNanos = double;
+
+constexpr SimNanos kNanosPerMicro = 1e3;
+constexpr SimNanos kNanosPerMilli = 1e6;
+constexpr SimNanos kNanosPerSec = 1e9;
+
+/// Monotonic simulated clock owned by one actor (host or a device core).
+class SimClock {
+ public:
+  SimNanos now() const { return now_; }
+  void Advance(SimNanos ns) { now_ += ns; }
+  /// Jump forward to `t` if it is in the future (used for stall/wait).
+  void AdvanceTo(SimNanos t) {
+    if (t > now_) now_ = t;
+  }
+  void Reset() { now_ = 0; }
+
+ private:
+  SimNanos now_ = 0;
+};
+
+}  // namespace hybridndp

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace hybridndp {
+
+namespace {
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kCorruption:
+      return "Corruption";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kIOError:
+      return "IOError";
+    case Code::kNotSupported:
+      return "NotSupported";
+    case Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Code::kAborted:
+      return "Aborted";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace hybridndp

@@ -1,0 +1,128 @@
+// Status and Result types used across the hybridNDP codebase.
+//
+// Follows the RocksDB/Arrow convention: functions that can fail return a
+// Status (or a Result<T> carrying a value), never throw.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hybridndp {
+
+/// Error/result code for all fallible operations in the library.
+enum class Code : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  kIOError = 4,
+  kNotSupported = 5,
+  kResourceExhausted = 6,
+  kAborted = 7,
+  kInternal = 8,
+};
+
+/// Lightweight status object. Ok statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "NotFound: key missing".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A value-or-status holder, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
+  Result(T value) : var_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
+  Result(Status status) : var_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOkStatus = Status::OK();
+    if (ok()) return kOkStatus;
+    return std::get<Status>(var_);
+  }
+
+  /// Precondition: ok().
+  T& value() & { return std::get<T>(var_); }
+  const T& value() const& { return std::get<T>(var_); }
+  T&& value() && { return std::move(std::get<T>(var_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+}  // namespace hybridndp
+
+/// Propagate a non-ok Status from the current function.
+#define HNDP_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::hybridndp::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Assign the value of a Result to `lhs`, or propagate its Status.
+#define HNDP_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto HNDP_CONCAT_(res_, __LINE__) = (rexpr);     \
+  if (!HNDP_CONCAT_(res_, __LINE__).ok())          \
+    return HNDP_CONCAT_(res_, __LINE__).status();  \
+  lhs = std::move(HNDP_CONCAT_(res_, __LINE__)).value()
+
+#define HNDP_CONCAT_IMPL_(a, b) a##b
+#define HNDP_CONCAT_(a, b) HNDP_CONCAT_IMPL_(a, b)

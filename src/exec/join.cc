@@ -1,0 +1,523 @@
+#include <cassert>
+
+#include "common/hash.h"
+#include "exec/operator.h"
+
+namespace hybridndp::exec {
+
+namespace {
+
+/// Resolve equi-join key columns against the two input schemas.
+Status ResolveKeys(const std::vector<JoinKey>& keys, const Schema& left,
+                   const Schema& right,
+                   std::vector<std::pair<int, int>>* out) {
+  out->clear();
+  for (const auto& key : keys) {
+    const int l = left.Find(key.left_col);
+    const int r = right.Find(key.right_col);
+    if (l < 0) {
+      return Status::InvalidArgument("join key not in left: " + key.left_col);
+    }
+    if (r < 0) {
+      return Status::InvalidArgument("join key not in right: " +
+                                     key.right_col);
+    }
+    if (left.column(l).size != right.column(r).size) {
+      return Status::InvalidArgument("join key width mismatch: " +
+                                     key.left_col + " vs " + key.right_col);
+    }
+    out->push_back({l, r});
+  }
+  return Status::OK();
+}
+
+/// Concatenated key bytes of the given columns of one row.
+std::string KeyBytes(const Schema& schema, const std::vector<int>& cols,
+                     const char* row) {
+  std::string key;
+  for (int c : cols) {
+    key.append(row + schema.offset(c), schema.column(c).size);
+  }
+  return key;
+}
+
+/// Concatenate two rows into the combined schema layout.
+void ConcatRows(const Schema& left, const Schema& right, const char* lrow,
+                const char* rrow, std::string* out, sim::AccessContext* ctx) {
+  out->resize(left.row_size() + right.row_size());
+  memcpy(out->data(), lrow, left.row_size());
+  memcpy(out->data() + left.row_size(), rrow, right.row_size());
+  if (ctx != nullptr) ctx->ChargeCopy(out->size());
+}
+
+std::vector<int> LeftCols(const std::vector<std::pair<int, int>>& kc) {
+  std::vector<int> out;
+  for (const auto& [l, r] : kc) out.push_back(l);
+  return out;
+}
+std::vector<int> RightCols(const std::vector<std::pair<int, int>>& kc) {
+  std::vector<int> out;
+  for (const auto& [l, r] : kc) out.push_back(r);
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- NestedLoopJoin
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr outer, OperatorPtr inner,
+                                   std::vector<JoinKey> keys,
+                                   Expr::Ptr residual, sim::AccessContext* ctx)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)),
+      ctx_(ctx) {}
+
+Status NestedLoopJoinOp::BindKeys() {
+  HNDP_RETURN_IF_ERROR(ResolveKeys(keys_, outer_->output_schema(),
+                                   inner_->output_schema(), &key_cols_));
+  out_schema_ =
+      Schema::Concat(outer_->output_schema(), inner_->output_schema());
+  if (residual_ != nullptr) {
+    HNDP_RETURN_IF_ERROR(residual_->Bind(out_schema_));
+  }
+  return Status::OK();
+}
+
+Status NestedLoopJoinOp::Open() {
+  HNDP_RETURN_IF_ERROR(outer_->Open());
+  HNDP_RETURN_IF_ERROR(inner_->Open());
+  HNDP_RETURN_IF_ERROR(BindKeys());
+  have_outer_ = false;
+  return Status::OK();
+}
+
+Status NestedLoopJoinOp::Rewind() { return Open(); }
+
+bool NestedLoopJoinOp::Next(std::string* row) {
+  const Schema& lschema = outer_->output_schema();
+  const Schema& rschema = inner_->output_schema();
+  std::string inner_row;
+  while (true) {
+    if (!have_outer_) {
+      if (!outer_->Next(&outer_row_)) return false;
+      have_outer_ = true;
+      Status s = inner_->Rewind();
+      if (!s.ok()) return false;
+    }
+    while (inner_->Next(&inner_row)) {
+      // Compare all key columns byte-wise.
+      bool match = true;
+      for (const auto& [l, r] : key_cols_) {
+        const uint32_t width = lschema.column(l).size;
+        if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kMemcmp, width);
+        if (memcmp(outer_row_.data() + lschema.offset(l),
+                   inner_row.data() + rschema.offset(r), width) != 0) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      ConcatRows(lschema, rschema, outer_row_.data(), inner_row.data(), row,
+                 ctx_);
+      if (residual_ != nullptr &&
+          !residual_->Eval(RowView(row->data(), &out_schema_), ctx_)) {
+        continue;
+      }
+      ++rows_produced_;
+      return true;
+    }
+    have_outer_ = false;  // advance outer
+  }
+}
+
+// --------------------------------------------------------------- BlockNLJoin
+
+BlockNLJoinOp::BlockNLJoinOp(OperatorPtr outer, OperatorPtr inner,
+                             std::vector<JoinKey> keys, Expr::Ptr residual,
+                             uint64_t buffer_bytes, sim::AccessContext* ctx)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)),
+      buffer_bytes_(buffer_bytes),
+      ctx_(ctx) {}
+
+Status BlockNLJoinOp::Open() {
+  HNDP_RETURN_IF_ERROR(outer_->Open());
+  HNDP_RETURN_IF_ERROR(inner_->Open());
+  HNDP_RETURN_IF_ERROR(ResolveKeys(keys_, outer_->output_schema(),
+                                   inner_->output_schema(), &key_cols_));
+  out_schema_ =
+      Schema::Concat(outer_->output_schema(), inner_->output_schema());
+  if (residual_ != nullptr) {
+    HNDP_RETURN_IF_ERROR(residual_->Bind(out_schema_));
+  }
+  outer_exhausted_ = false;
+  block_active_ = false;
+  have_inner_ = false;
+  block_.clear();
+  hash_.clear();
+  blocks_ = 0;
+  return Status::OK();
+}
+
+Status BlockNLJoinOp::Rewind() { return Open(); }
+
+std::string BlockNLJoinOp::OuterKey(const RowView& row) const {
+  return KeyBytes(outer_->output_schema(), LeftCols(key_cols_), row.data());
+}
+
+std::string BlockNLJoinOp::InnerKey(const RowView& row) const {
+  return KeyBytes(inner_->output_schema(), RightCols(key_cols_), row.data());
+}
+
+Status BlockNLJoinOp::LoadNextBlock() {
+  block_.clear();
+  hash_.clear();
+  uint64_t bytes = 0;
+  std::string row;
+  while (bytes < buffer_bytes_ && outer_->Next(&row)) {
+    bytes += row.size();
+    block_.push_back(std::move(row));
+  }
+  if (block_.empty()) {
+    outer_exhausted_ = true;
+    block_active_ = false;
+    return Status::OK();
+  }
+  // Build the hash table over the buffered block.
+  for (size_t i = 0; i < block_.size(); ++i) {
+    const RowView view(block_[i].data(), &outer_->output_schema());
+    hash_.emplace(OuterKey(view), i);
+    if (ctx_ != nullptr) {
+      ctx_->Charge(sim::CostKind::kHashBuild, 1);
+      ctx_->ChargeCopy(block_[i].size());
+    }
+  }
+  ++blocks_;
+  block_active_ = true;
+  have_inner_ = false;
+  // Fresh pass over the inner input for this block.
+  return inner_->Rewind();
+}
+
+bool BlockNLJoinOp::Next(std::string* row) {
+  const Schema& lschema = outer_->output_schema();
+  const Schema& rschema = inner_->output_schema();
+  while (true) {
+    if (!block_active_) {
+      if (outer_exhausted_) return false;
+      Status s = LoadNextBlock();
+      if (!s.ok() || outer_exhausted_) return false;
+    }
+    // Emit remaining matches of the current inner row.
+    while (have_inner_ && match_range_.first != match_range_.second) {
+      const size_t idx = match_range_.first->second;
+      ++match_range_.first;
+      ConcatRows(lschema, rschema, block_[idx].data(), inner_row_.data(), row,
+                 ctx_);
+      if (residual_ != nullptr &&
+          !residual_->Eval(RowView(row->data(), &out_schema_), ctx_)) {
+        continue;
+      }
+      ++rows_produced_;
+      return true;
+    }
+    // Advance the inner stream.
+    if (inner_->Next(&inner_row_)) {
+      have_inner_ = true;
+      if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashProbe, 1);
+      const RowView view(inner_row_.data(), &rschema);
+      match_range_ = hash_.equal_range(InnerKey(view));
+      continue;
+    }
+    // Inner exhausted for this block: move to the next outer block.
+    block_active_ = false;
+    have_inner_ = false;
+  }
+}
+
+// --------------------------------------------------------- BlockNLIndexJoin
+
+BlockNLIndexJoinOp::BlockNLIndexJoinOp(
+    OperatorPtr outer, std::string outer_key_col, const TableAccessor* inner_table,
+    std::string inner_alias, std::string inner_join_col,
+    lsm::ReadOptions inner_opts, Expr::Ptr inner_residual,
+    std::vector<std::string> inner_projection, uint64_t buffer_bytes,
+    sim::AccessContext* ctx)
+    : outer_(std::move(outer)),
+      outer_key_col_(std::move(outer_key_col)),
+      inner_table_(inner_table),
+      inner_alias_(std::move(inner_alias)),
+      inner_opts_(inner_opts),
+      inner_residual_(std::move(inner_residual)),
+      buffer_bytes_(buffer_bytes),
+      ctx_(ctx) {
+  inner_aliased_schema_ = AliasSchema(inner_table_->schema(), inner_alias_);
+  inner_join_col_ = inner_table_->schema().Find(inner_join_col);
+  // Inner projection: default all columns.
+  std::vector<int> cols;
+  if (inner_projection.empty()) {
+    for (size_t i = 0; i < inner_aliased_schema_.num_columns(); ++i) {
+      cols.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& name : inner_projection) {
+      const int idx = inner_aliased_schema_.Find(name);
+      if (idx >= 0) cols.push_back(idx);
+    }
+  }
+  inner_out_cols_ = cols;
+  inner_out_schema_ = inner_aliased_schema_.Project(cols);
+}
+
+Status BlockNLIndexJoinOp::Open() {
+  HNDP_RETURN_IF_ERROR(outer_->Open());
+  if (inner_join_col_ < 0) {
+    return Status::InvalidArgument("BNLJI: unknown inner join column");
+  }
+  if (inner_table_->schema().column(inner_join_col_).type !=
+      rel::ColType::kInt32) {
+    return Status::NotSupported("BNLJI requires an int join column");
+  }
+  outer_key_idx_ = outer_->output_schema().Find(outer_key_col_);
+  if (outer_key_idx_ < 0) {
+    return Status::InvalidArgument("BNLJI: unknown outer key column " +
+                                   outer_key_col_);
+  }
+  if (inner_join_col_ == inner_table_->def().pk_col) {
+    inner_index_no_ = -1;  // primary-key lookups
+  } else {
+    inner_index_no_ = inner_table_->FindIndexOn(inner_join_col_);
+    if (inner_index_no_ < 0) {
+      return Status::InvalidArgument("BNLJI: no index on inner join column");
+    }
+  }
+  if (inner_residual_ != nullptr) {
+    HNDP_RETURN_IF_ERROR(inner_residual_->Bind(inner_aliased_schema_));
+  }
+  out_schema_ = Schema::Concat(outer_->output_schema(), inner_out_schema_);
+  index_iter_.reset();
+  if (inner_index_no_ >= 0) {
+    index_iter_ = inner_table_->NewIndexIterator(
+        inner_opts_, static_cast<size_t>(inner_index_no_));
+  }
+  block_.clear();
+  outer_exhausted_ = false;
+  matches_.clear();
+  match_pos_ = 0;
+  have_outer_ = false;
+  lookups_ = 0;
+  return Status::OK();
+}
+
+Status BlockNLIndexJoinOp::Rewind() { return Open(); }
+
+Status BlockNLIndexJoinOp::LoadNextBlock() {
+  uint64_t bytes = 0;
+  std::string row;
+  while (bytes < buffer_bytes_ && outer_->Next(&row)) {
+    bytes += row.size();
+    if (ctx_ != nullptr) ctx_->ChargeCopy(row.size());
+    block_.push_back(std::move(row));
+  }
+  if (block_.empty()) outer_exhausted_ = true;
+  return Status::OK();
+}
+
+Status BlockNLIndexJoinOp::FetchMatches(const RowView& outer_row) {
+  matches_.clear();
+  match_pos_ = 0;
+  const int32_t key = outer_row.GetInt(outer_key_idx_);
+
+  auto consider_row = [&](const std::string& base_row) {
+    const RowView view(base_row.data(), &inner_aliased_schema_);
+    if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kSelectionProcessing, 1);
+    if (inner_residual_ != nullptr && !inner_residual_->Eval(view, ctx_)) {
+      return;
+    }
+    std::string projected(inner_out_schema_.row_size(), '\0');
+    for (size_t i = 0; i < inner_out_cols_.size(); ++i) {
+      const int c = inner_out_cols_[i];
+      memcpy(projected.data() + inner_out_schema_.offset(i),
+             base_row.data() + inner_aliased_schema_.offset(c),
+             inner_aliased_schema_.column(c).size);
+    }
+    if (ctx_ != nullptr) ctx_->ChargeCopy(projected.size());
+    matches_.push_back(std::move(projected));
+  };
+
+  ++lookups_;
+  if (inner_index_no_ < 0) {
+    // Direct primary-key seek.
+    std::string base_row;
+    Status s = inner_table_->GetByPk(inner_opts_, key, &base_row);
+    if (s.ok()) consider_row(base_row);
+    else if (!s.IsNotFound()) return s;
+    return Status::OK();
+  }
+
+  // Secondary-index path (paper Fig. 9): seek the secondary LSM-tree for all
+  // entries with this key, extract the primary keys, then seek each in the
+  // primary LSM-tree.
+  std::string prefix;
+  PutOrderedInt32(&prefix, key);
+  lsm::Iterator* iter = index_iter_.get();
+  iter->Seek(Slice(prefix));
+  while (iter->Valid()) {
+    const Slice ikey = iter->key();
+    if (ikey.size() < 8 || memcmp(ikey.data(), prefix.data(), 4) != 0) break;
+    const int32_t pk = GetOrderedInt32(ikey.data() + ikey.size() - 4);
+    std::string base_row;
+    Status s = inner_table_->GetByPk(inner_opts_, pk, &base_row);
+    if (s.ok()) consider_row(base_row);
+    else if (!s.IsNotFound()) return s;
+    iter->Next();
+  }
+  return Status::OK();
+}
+
+bool BlockNLIndexJoinOp::Next(std::string* row) {
+  const Schema& lschema = outer_->output_schema();
+  while (true) {
+    if (match_pos_ < matches_.size()) {
+      ConcatRows(lschema, inner_out_schema_, current_outer_.data(),
+                 matches_[match_pos_].data(), row, ctx_);
+      ++match_pos_;
+      ++rows_produced_;
+      return true;
+    }
+    if (block_.empty()) {
+      if (outer_exhausted_) return false;
+      Status s = LoadNextBlock();
+      if (!s.ok()) return false;
+      continue;
+    }
+    current_outer_ = std::move(block_.front());
+    block_.pop_front();
+    const RowView view(current_outer_.data(), &lschema);
+    Status s = FetchMatches(view);
+    if (!s.ok()) return false;
+  }
+}
+
+std::string BlockNLIndexJoinOp::Describe() const {
+  return std::string("BNLJI(") + inner_table_->name() +
+         (inner_index_no_ < 0 ? " via pk" : " via secondary idx") + ")";
+}
+
+// ------------------------------------------------------------ GraceHashJoin
+
+GraceHashJoinOp::GraceHashJoinOp(OperatorPtr left, OperatorPtr right,
+                                 std::vector<JoinKey> keys, Expr::Ptr residual,
+                                 int num_partitions, sim::AccessContext* ctx)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)),
+      num_partitions_(num_partitions < 1 ? 1 : num_partitions),
+      ctx_(ctx) {}
+
+Status GraceHashJoinOp::Open() {
+  HNDP_RETURN_IF_ERROR(left_->Open());
+  HNDP_RETURN_IF_ERROR(right_->Open());
+  HNDP_RETURN_IF_ERROR(ResolveKeys(keys_, left_->output_schema(),
+                                   right_->output_schema(), &key_cols_));
+  out_schema_ = Schema::Concat(left_->output_schema(), right_->output_schema());
+  if (residual_ != nullptr) {
+    HNDP_RETURN_IF_ERROR(residual_->Bind(out_schema_));
+  }
+  partitioned_ = false;
+  part_ = 0;
+  in_match_ = false;
+  return Status::OK();
+}
+
+Status GraceHashJoinOp::Rewind() { return Open(); }
+
+Status GraceHashJoinOp::Partition() {
+  left_parts_.assign(num_partitions_, {});
+  right_parts_.assign(num_partitions_, {});
+  std::string row;
+  // Spilling a partition run writes it to storage and reads it back later;
+  // charge both directions as streaming flash traffic plus the hash work.
+  uint64_t spilled = 0;
+  while (left_->Next(&row)) {
+    const std::string key =
+        KeyBytes(left_->output_schema(), LeftCols(key_cols_), row.data());
+    const size_t p = Hash64(Slice(key)) % num_partitions_;
+    spilled += row.size();
+    if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashProbe, 1);
+    left_parts_[p].push_back(std::move(row));
+  }
+  while (right_->Next(&row)) {
+    const std::string key =
+        KeyBytes(right_->output_schema(), RightCols(key_cols_), row.data());
+    const size_t p = Hash64(Slice(key)) % num_partitions_;
+    spilled += row.size();
+    if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashProbe, 1);
+    right_parts_[p].push_back(std::move(row));
+  }
+  if (ctx_ != nullptr && spilled > 0) {
+    ctx_->ChargeFlashRead(spilled);  // spill write
+    ctx_->ChargeFlashRead(spilled);  // reload
+  }
+  partitioned_ = true;
+  return Status::OK();
+}
+
+Status GraceHashJoinOp::StartPartition(size_t p) {
+  hash_.clear();
+  const auto& build = left_parts_[p];
+  for (size_t i = 0; i < build.size(); ++i) {
+    const std::string key =
+        KeyBytes(left_->output_schema(), LeftCols(key_cols_), build[i].data());
+    hash_.emplace(key, i);
+    if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashBuild, 1);
+  }
+  probe_pos_ = 0;
+  in_match_ = false;
+  return Status::OK();
+}
+
+bool GraceHashJoinOp::Next(std::string* row) {
+  if (!partitioned_) {
+    if (!Partition().ok()) return false;
+    part_ = 0;
+    StartPartition(0);
+  }
+  while (part_ < left_parts_.size()) {
+    auto& probe = right_parts_[part_];
+    while (true) {
+      if (in_match_ && match_range_.first != match_range_.second) {
+        const size_t build_idx = match_range_.first->second;
+        ++match_range_.first;
+        ConcatRows(left_->output_schema(), right_->output_schema(),
+                   left_parts_[part_][build_idx].data(),
+                   probe[probe_pos_ - 1].data(), row, ctx_);
+        if (residual_ != nullptr &&
+            !residual_->Eval(RowView(row->data(), &out_schema_), ctx_)) {
+          continue;
+        }
+        ++rows_produced_;
+        return true;
+      }
+      in_match_ = false;
+      if (probe_pos_ >= probe.size()) break;
+      const std::string key = KeyBytes(
+          right_->output_schema(), RightCols(key_cols_),
+          probe[probe_pos_].data());
+      ++probe_pos_;
+      if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashProbe, 1);
+      match_range_ = hash_.equal_range(key);
+      in_match_ = true;
+    }
+    ++part_;
+    if (part_ < left_parts_.size()) StartPartition(part_);
+  }
+  return false;
+}
+
+}  // namespace hybridndp::exec

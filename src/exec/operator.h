@@ -1,0 +1,395 @@
+// Volcano-model physical operators (paper Sect. 4.2 uses the same model on
+// device). Every operator charges its work to an AccessContext, so the same
+// operator tree runs under host or device cost models depending on the
+// context it was built with.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/expr.h"
+#include "lsm/db.h"
+#include "rel/table.h"
+#include "sim/cost.h"
+
+namespace hybridndp::exec {
+
+using rel::Schema;
+using rel::TableAccessor;
+
+/// Base volcano operator: Open / Next / Close, plus Rewind for join inners.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual const Schema& output_schema() const = 0;
+  virtual Status Open() = 0;
+  /// Produce the next output row into *row (resized to the output schema's
+  /// row size). Returns false when exhausted.
+  virtual bool Next(std::string* row) = 0;
+  virtual void Close() {}
+  /// Restart the stream from the beginning (used by nested-loop inners;
+  /// re-reads storage, which re-charges I/O unless a cache absorbs it).
+  virtual Status Rewind() = 0;
+
+  virtual std::string Describe() const = 0;
+
+  uint64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  uint64_t rows_produced_ = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Rename a table schema's columns to "alias.column".
+Schema AliasSchema(const Schema& schema, const std::string& alias);
+
+/// Equi-join key pair (column names in the left/right schemas).
+struct JoinKey {
+  std::string left_col;
+  std::string right_col;
+};
+
+/// Full scan of a table's primary column family with optional early
+/// selection (predicate) and early projection (kept columns).
+/// Output columns are named "alias.col".
+class TableScanOp final : public Operator {
+ public:
+  /// `projection`: output column names (aliased); empty = all columns.
+  TableScanOp(const TableAccessor* table, std::string alias, lsm::ReadOptions opts,
+              Expr::Ptr predicate, std::vector<std::string> projection);
+
+  const Schema& output_schema() const override { return out_schema_; }
+  Status Open() override;
+  bool Next(std::string* row) override;
+  Status Rewind() override { return Open(); }
+  std::string Describe() const override;
+
+  uint64_t rows_scanned() const { return rows_scanned_; }
+
+ private:
+  const TableAccessor* table_;
+  std::string alias_;
+  lsm::ReadOptions opts_;
+  Schema aliased_schema_;  ///< full table schema with aliased names
+  Expr::Ptr predicate_;
+  Schema out_schema_;
+  std::vector<int> out_cols_;  ///< indexes into the table schema
+  std::vector<std::string> projection_names_;
+  lsm::IteratorPtr iter_;
+  uint64_t rows_scanned_ = 0;
+};
+
+/// Secondary-index range scan: walks the index column family for entries in
+/// [lo, hi] on the indexed column, fetches each row from the primary CF by
+/// the primary key stored in the index entry, then applies the residual
+/// predicate and projection.
+class IndexScanOp final : public Operator {
+ public:
+  IndexScanOp(const TableAccessor* table, std::string alias, size_t index_no,
+              lsm::ReadOptions opts, int64_t lo, int64_t hi,
+              Expr::Ptr residual, std::vector<std::string> projection);
+
+  const Schema& output_schema() const override { return out_schema_; }
+  Status Open() override;
+  bool Next(std::string* row) override;
+  Status Rewind() override { return Open(); }
+  std::string Describe() const override;
+
+ private:
+  const TableAccessor* table_;
+  std::string alias_;
+  size_t index_no_;
+  lsm::ReadOptions opts_;
+  int64_t lo_, hi_;
+  Schema aliased_schema_;
+  Expr::Ptr residual_;
+  Schema out_schema_;
+  std::vector<int> out_cols_;
+  std::vector<std::string> projection_names_;
+  lsm::IteratorPtr iter_;
+  std::string end_key_;
+};
+
+/// Row source over a materialized vector (used to feed device-produced
+/// intermediate results into the host PQEP — paper Fig. 7.D).
+class VectorSourceOp final : public Operator {
+ public:
+  VectorSourceOp(Schema schema, const std::vector<std::string>* rows)
+      : schema_(std::move(schema)), rows_(rows) {}
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  bool Next(std::string* row) override {
+    if (pos_ >= rows_->size()) return false;
+    *row = (*rows_)[pos_++];
+    ++rows_produced_;
+    return true;
+  }
+  Status Rewind() override { return Open(); }
+  std::string Describe() const override { return "VectorSource"; }
+
+ private:
+  Schema schema_;
+  const std::vector<std::string>* rows_;
+  size_t pos_ = 0;
+};
+
+/// Filter (selection on an arbitrary input).
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OperatorPtr child, Expr::Ptr predicate, sim::AccessContext* ctx);
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override;
+  bool Next(std::string* row) override;
+  Status Rewind() override;
+  std::string Describe() const override;
+
+ private:
+  OperatorPtr child_;
+  Expr::Ptr predicate_;
+  sim::AccessContext* ctx_;
+};
+
+/// Projection by output column names.
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<std::string> columns,
+            sim::AccessContext* ctx);
+
+  const Schema& output_schema() const override { return out_schema_; }
+  Status Open() override;
+  bool Next(std::string* row) override;
+  Status Rewind() override;
+  std::string Describe() const override;
+
+ private:
+  OperatorPtr child_;
+  sim::AccessContext* ctx_;
+  Schema out_schema_;
+  std::vector<int> cols_;
+  std::vector<std::string> projection_names_;
+  std::string child_row_;
+};
+
+/// Classic tuple-at-a-time nested loop join (paper: NLJ).
+class NestedLoopJoinOp final : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr outer, OperatorPtr inner,
+                   std::vector<JoinKey> keys, Expr::Ptr residual,
+                   sim::AccessContext* ctx);
+
+  const Schema& output_schema() const override { return out_schema_; }
+  Status Open() override;
+  bool Next(std::string* row) override;
+  Status Rewind() override;
+  std::string Describe() const override { return "NLJ"; }
+
+ private:
+  Status BindKeys();
+
+  OperatorPtr outer_, inner_;
+  std::vector<JoinKey> keys_;
+  Expr::Ptr residual_;
+  sim::AccessContext* ctx_;
+  Schema out_schema_;
+  std::vector<std::pair<int, int>> key_cols_;  ///< (outer idx, inner idx)
+  std::string outer_row_;
+  bool have_outer_ = false;
+};
+
+/// Block nested loop join: buffers a block of outer rows, builds a hash
+/// table over it (paper Sect. 5: "BNL-join builds a hash table in the
+/// buffer"), and streams the inner input once per block. The buffer size is
+/// the on-device join buffer (hw_MSJ) or a host join buffer.
+class BlockNLJoinOp final : public Operator {
+ public:
+  BlockNLJoinOp(OperatorPtr outer, OperatorPtr inner, std::vector<JoinKey> keys,
+                Expr::Ptr residual, uint64_t buffer_bytes,
+                sim::AccessContext* ctx);
+
+  const Schema& output_schema() const override { return out_schema_; }
+  Status Open() override;
+  bool Next(std::string* row) override;
+  Status Rewind() override;
+  std::string Describe() const override { return "BNLJ"; }
+
+  uint64_t blocks_used() const { return blocks_; }
+
+ private:
+  Status LoadNextBlock();
+  std::string OuterKey(const RowView& row) const;
+  std::string InnerKey(const RowView& row) const;
+
+  OperatorPtr outer_, inner_;
+  std::vector<JoinKey> keys_;
+  Expr::Ptr residual_;
+  uint64_t buffer_bytes_;
+  sim::AccessContext* ctx_;
+  Schema out_schema_;
+  std::vector<std::pair<int, int>> key_cols_;
+
+  std::vector<std::string> block_;  ///< buffered outer rows
+  std::unordered_multimap<std::string, size_t> hash_;
+  bool outer_exhausted_ = false;
+  bool block_active_ = false;
+  std::string inner_row_;
+  bool have_inner_ = false;
+  std::pair<std::unordered_multimap<std::string, size_t>::iterator,
+            std::unordered_multimap<std::string, size_t>::iterator>
+      match_range_;
+  uint64_t blocks_ = 0;
+};
+
+/// Indexed block nested loop join (paper: BNLJI): the inner side is a base
+/// table looked up through its primary key or a secondary index on the join
+/// column (on-device secondary-index processing, paper Fig. 9).
+class BlockNLIndexJoinOp final : public Operator {
+ public:
+  /// `inner_join_col` is a column name in the *table* schema (unaliased).
+  BlockNLIndexJoinOp(OperatorPtr outer, std::string outer_key_col,
+                     const TableAccessor* inner_table, std::string inner_alias,
+                     std::string inner_join_col, lsm::ReadOptions inner_opts,
+                     Expr::Ptr inner_residual,
+                     std::vector<std::string> inner_projection,
+                     uint64_t buffer_bytes, sim::AccessContext* ctx);
+
+  const Schema& output_schema() const override { return out_schema_; }
+  Status Open() override;
+  bool Next(std::string* row) override;
+  Status Rewind() override;
+  std::string Describe() const override;
+
+  uint64_t index_lookups() const { return lookups_; }
+
+ private:
+  Status LoadNextBlock();
+  /// Collect matching inner rows for the current outer row into matches_.
+  Status FetchMatches(const RowView& outer_row);
+
+  OperatorPtr outer_;
+  std::string outer_key_col_;
+  const TableAccessor* inner_table_;
+  std::string inner_alias_;
+  int inner_join_col_ = -1;
+  int inner_index_no_ = -1;  ///< -1 = primary key lookup
+  lsm::ReadOptions inner_opts_;
+  Schema inner_aliased_schema_;
+  Expr::Ptr inner_residual_;
+  Schema inner_out_schema_;
+  std::vector<int> inner_out_cols_;
+  uint64_t buffer_bytes_;
+  sim::AccessContext* ctx_;
+  Schema out_schema_;
+  int outer_key_idx_ = -1;
+
+  std::deque<std::string> block_;
+  lsm::IteratorPtr index_iter_;  ///< reused across lookups
+  bool outer_exhausted_ = false;
+  std::vector<std::string> matches_;  ///< projected inner rows
+  size_t match_pos_ = 0;
+  std::string current_outer_;
+  bool have_outer_ = false;
+  uint64_t lookups_ = 0;
+};
+
+/// Grace hash join: both inputs are hash-partitioned to (simulated) storage,
+/// then each partition pair is joined with an in-memory hash table.
+class GraceHashJoinOp final : public Operator {
+ public:
+  GraceHashJoinOp(OperatorPtr left, OperatorPtr right,
+                  std::vector<JoinKey> keys, Expr::Ptr residual,
+                  int num_partitions, sim::AccessContext* ctx);
+
+  const Schema& output_schema() const override { return out_schema_; }
+  Status Open() override;
+  bool Next(std::string* row) override;
+  Status Rewind() override;
+  std::string Describe() const override { return "GHJ"; }
+
+ private:
+  Status Partition();
+  Status StartPartition(size_t p);
+
+  OperatorPtr left_, right_;
+  std::vector<JoinKey> keys_;
+  Expr::Ptr residual_;
+  int num_partitions_;
+  sim::AccessContext* ctx_;
+  Schema out_schema_;
+  std::vector<std::pair<int, int>> key_cols_;
+
+  std::vector<std::vector<std::string>> left_parts_, right_parts_;
+  size_t part_ = 0;
+  std::unordered_multimap<std::string, size_t> hash_;
+  size_t probe_pos_ = 0;
+  std::pair<std::unordered_multimap<std::string, size_t>::iterator,
+            std::unordered_multimap<std::string, size_t>::iterator>
+      match_range_;
+  bool in_match_ = false;
+  bool partitioned_ = false;
+};
+
+/// Aggregate functions over one column.
+enum class AggFn : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  std::string column;  ///< ignored for COUNT(*)
+  std::string output_name;
+};
+
+/// Hash GROUP BY + aggregation; with no group columns, a single global
+/// aggregate row is produced.
+class GroupByAggOp final : public Operator {
+ public:
+  GroupByAggOp(OperatorPtr child, std::vector<std::string> group_cols,
+               std::vector<AggSpec> aggs, sim::AccessContext* ctx);
+
+  const Schema& output_schema() const override { return out_schema_; }
+  Status Open() override;
+  bool Next(std::string* row) override;
+  Status Rewind() override;
+  std::string Describe() const override { return "GroupByAgg"; }
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min_int = 0;
+    int64_t max_int = 0;
+    std::string min_str, max_str;
+    bool seen = false;
+  };
+
+  Status Consume();
+
+  OperatorPtr child_;
+  std::vector<std::string> group_cols_;
+  std::vector<AggSpec> aggs_;
+  sim::AccessContext* ctx_;
+  Schema out_schema_;
+  std::vector<int> group_idx_;
+  std::vector<int> agg_idx_;
+  std::map<std::string, std::vector<AggState>> groups_;
+  std::map<std::string, std::vector<AggState>>::iterator emit_it_;
+  bool consumed_ = false;
+};
+
+/// Drain an operator to completion, collecting rows.
+Result<std::vector<std::string>> CollectAll(Operator* op);
+
+}  // namespace hybridndp::exec

@@ -1,0 +1,249 @@
+#include <algorithm>
+
+#include "exec/operator.h"
+
+namespace hybridndp::exec {
+
+Schema AliasSchema(const Schema& schema, const std::string& alias) {
+  std::vector<rel::Column> cols;
+  cols.reserve(schema.num_columns());
+  for (const auto& c : schema.columns()) {
+    rel::Column renamed = c;
+    renamed.name = alias.empty() ? c.name : alias + "." + c.name;
+    cols.push_back(std::move(renamed));
+  }
+  return Schema(std::move(cols));
+}
+
+namespace {
+
+/// Resolve projection names to column indexes; empty projection = all.
+Status ResolveProjection(const Schema& schema,
+                         const std::vector<std::string>& projection,
+                         std::vector<int>* out_cols, Schema* out_schema) {
+  out_cols->clear();
+  if (projection.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      out_cols->push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& name : projection) {
+      const int idx = schema.Find(name);
+      if (idx < 0) {
+        return Status::InvalidArgument("projection column not found: " + name);
+      }
+      out_cols->push_back(idx);
+    }
+  }
+  *out_schema = schema.Project(*out_cols);
+  return Status::OK();
+}
+
+/// Copy projected fields of `row` (in `schema`) into *out.
+void ProjectRow(const Schema& schema, const std::vector<int>& cols,
+                const Schema& out_schema, const char* row, std::string* out,
+                sim::AccessContext* ctx) {
+  out->resize(out_schema.row_size());
+  char* dst = out->data();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const auto& col = schema.column(cols[i]);
+    memcpy(dst + out_schema.offset(i), row + schema.offset(cols[i]), col.size);
+  }
+  if (ctx != nullptr) ctx->ChargeCopy(out_schema.row_size());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TableScan
+
+TableScanOp::TableScanOp(const TableAccessor* table, std::string alias,
+                         lsm::ReadOptions opts, Expr::Ptr predicate,
+                         std::vector<std::string> projection)
+    : table_(table),
+      alias_(std::move(alias)),
+      opts_(opts),
+      predicate_(std::move(predicate)) {
+  aliased_schema_ = AliasSchema(table_->schema(), alias_);
+  // Projection resolution cannot fail silently later: defer error to Open().
+  Status s = ResolveProjection(aliased_schema_, projection, &out_cols_,
+                               &out_schema_);
+  (void)s;  // re-checked in Open()
+  projection_names_ = projection;
+}
+
+Status TableScanOp::Open() {
+  HNDP_RETURN_IF_ERROR(ResolveProjection(aliased_schema_, projection_names_,
+                                         &out_cols_, &out_schema_));
+  if (predicate_ != nullptr) {
+    HNDP_RETURN_IF_ERROR(predicate_->Bind(aliased_schema_));
+  }
+  iter_ = table_->NewScanIterator(opts_);
+  iter_->SeekToFirst();
+  return Status::OK();
+}
+
+bool TableScanOp::Next(std::string* row) {
+  while (iter_ != nullptr && iter_->Valid()) {
+    const Slice value = iter_->value();
+    const RowView view(value.data(), &aliased_schema_);
+    ++rows_scanned_;
+    if (opts_.ctx != nullptr) {
+      opts_.ctx->Charge(sim::CostKind::kSelectionProcessing, 1);
+    }
+    const bool pass =
+        predicate_ == nullptr || predicate_->Eval(view, opts_.ctx);
+    if (pass) {
+      ProjectRow(aliased_schema_, out_cols_, out_schema_, value.data(), row,
+                 opts_.ctx);
+      iter_->Next();
+      ++rows_produced_;
+      return true;
+    }
+    iter_->Next();
+  }
+  return false;
+}
+
+std::string TableScanOp::Describe() const {
+  std::string s = "TableScan(" + table_->name();
+  if (!alias_.empty()) s += " AS " + alias_;
+  if (predicate_ != nullptr) s += ", " + predicate_->ToString();
+  s += ")";
+  return s;
+}
+
+// ---------------------------------------------------------------- IndexScan
+
+IndexScanOp::IndexScanOp(const TableAccessor* table, std::string alias,
+                         size_t index_no, lsm::ReadOptions opts, int64_t lo,
+                         int64_t hi, Expr::Ptr residual,
+                         std::vector<std::string> projection)
+    : table_(table),
+      alias_(std::move(alias)),
+      index_no_(index_no),
+      opts_(opts),
+      lo_(lo),
+      hi_(hi),
+      residual_(std::move(residual)),
+      projection_names_(std::move(projection)) {
+  aliased_schema_ = AliasSchema(table_->schema(), alias_);
+}
+
+Status IndexScanOp::Open() {
+  const int col = table_->def().indexes[index_no_].col;
+  if (table_->schema().column(col).type != rel::ColType::kInt32) {
+    return Status::NotSupported("index range scan requires int column");
+  }
+  HNDP_RETURN_IF_ERROR(ResolveProjection(aliased_schema_, projection_names_,
+                                         &out_cols_, &out_schema_));
+  if (residual_ != nullptr) {
+    HNDP_RETURN_IF_ERROR(residual_->Bind(aliased_schema_));
+  }
+  iter_ = table_->NewIndexIterator(opts_, index_no_);
+  std::string start;
+  PutOrderedInt32(&start, static_cast<int32_t>(lo_));
+  iter_->Seek(Slice(start));
+  end_key_.clear();
+  PutOrderedInt32(&end_key_, static_cast<int32_t>(hi_));
+  return Status::OK();
+}
+
+bool IndexScanOp::Next(std::string* row) {
+  while (iter_ != nullptr && iter_->Valid()) {
+    const Slice ikey = iter_->key();
+    if (ikey.size() < 8) {
+      iter_->Next();
+      continue;
+    }
+    // key = ordered secondary value (4B) | ordered primary key (4B).
+    if (memcmp(ikey.data(), end_key_.data(), 4) > 0) break;  // past range
+    const int32_t pk = GetOrderedInt32(ikey.data() + ikey.size() - 4);
+    iter_->Next();
+
+    std::string base_row;
+    Status s = table_->GetByPk(opts_, pk, &base_row);
+    if (!s.ok()) continue;  // dangling index entry
+    const RowView view(base_row.data(), &aliased_schema_);
+    if (opts_.ctx != nullptr) {
+      opts_.ctx->Charge(sim::CostKind::kSelectionProcessing, 1);
+    }
+    if (residual_ != nullptr && !residual_->Eval(view, opts_.ctx)) continue;
+    ProjectRow(aliased_schema_, out_cols_, out_schema_, base_row.data(), row,
+               opts_.ctx);
+    ++rows_produced_;
+    return true;
+  }
+  return false;
+}
+
+std::string IndexScanOp::Describe() const {
+  return "IndexScan(" + table_->name() + "." +
+         table_->def().indexes[index_no_].name + " in [" +
+         std::to_string(lo_) + "," + std::to_string(hi_) + "])";
+}
+
+// ---------------------------------------------------------------- Filter
+
+FilterOp::FilterOp(OperatorPtr child, Expr::Ptr predicate,
+                   sim::AccessContext* ctx)
+    : child_(std::move(child)), predicate_(std::move(predicate)), ctx_(ctx) {}
+
+Status FilterOp::Open() {
+  HNDP_RETURN_IF_ERROR(child_->Open());
+  return predicate_->Bind(child_->output_schema());
+}
+
+bool FilterOp::Next(std::string* row) {
+  while (child_->Next(row)) {
+    if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kRecordEval, 1);
+    const RowView view(row->data(), &child_->output_schema());
+    if (predicate_->Eval(view, ctx_)) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status FilterOp::Rewind() { return child_->Rewind(); }
+
+std::string FilterOp::Describe() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------- Project
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<std::string> columns,
+                     sim::AccessContext* ctx)
+    : child_(std::move(child)), ctx_(ctx), projection_names_(std::move(columns)) {}
+
+Status ProjectOp::Open() {
+  HNDP_RETURN_IF_ERROR(child_->Open());
+  return ResolveProjection(child_->output_schema(), projection_names_, &cols_,
+                           &out_schema_);
+}
+
+bool ProjectOp::Next(std::string* row) {
+  if (!child_->Next(&child_row_)) return false;
+  ProjectRow(child_->output_schema(), cols_, out_schema_, child_row_.data(),
+             row, ctx_);
+  ++rows_produced_;
+  return true;
+}
+
+Status ProjectOp::Rewind() { return child_->Rewind(); }
+
+std::string ProjectOp::Describe() const {
+  return "Project(" + std::to_string(cols_.size()) + " cols)";
+}
+
+Result<std::vector<std::string>> CollectAll(Operator* op) {
+  HNDP_RETURN_IF_ERROR(op->Open());
+  std::vector<std::string> rows;
+  std::string row;
+  while (op->Next(&row)) rows.push_back(row);
+  op->Close();
+  return rows;
+}
+
+}  // namespace hybridndp::exec

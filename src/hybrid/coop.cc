@@ -1,0 +1,122 @@
+#include "hybrid/coop.h"
+
+#include <sstream>
+
+namespace hybridndp::hybrid {
+
+std::string StageTimes::ToString() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  const SimNanos t = total();
+  auto pct = [&](SimNanos v) { return t > 0 ? v / t * 100.0 : 0.0; };
+  os << "  NDP setup (command):        " << ndp_setup / kNanosPerMilli
+     << " ms (" << pct(ndp_setup) << "%)\n"
+     << "  Wait (initial device exec): " << initial_wait / kNanosPerMilli
+     << " ms (" << pct(initial_wait) << "%)\n"
+     << "  Wait (2nd, 3rd, ... exec):  " << later_waits / kNanosPerMilli
+     << " ms (" << pct(later_waits) << "%)\n"
+     << "  Result transfer:            " << result_transfer / kNanosPerMilli
+     << " ms (" << pct(result_transfer) << "%)\n"
+     << "  Processing:                 " << processing / kNanosPerMilli
+     << " ms (" << pct(processing) << "%)\n";
+  return os.str();
+}
+
+BatchSchedule::BatchSchedule(std::vector<ndp::DeviceBatch> batches,
+                             int shared_slots, const sim::HwParams* hw,
+                             SimNanos start_time, bool eager)
+    : batches_(std::move(batches)),
+      shared_slots_(shared_slots < 1 ? 1 : shared_slots),
+      hw_(hw),
+      start_(start_time),
+      eager_(eager) {
+  done_.assign(batches_.size(), -1.0);
+  fetched_.assign(batches_.size(), -1.0);
+}
+
+void BatchSchedule::ComputeDoneThrough(size_t i) {
+  while (computed_ <= i && computed_ < batches_.size()) {
+    const size_t j = computed_;
+    const SimNanos prev = j == 0 ? start_ : done_[j - 1];
+    SimNanos begin = prev;
+    if (!eager_ && j >= static_cast<size_t>(shared_slots_)) {
+      // Core 1 halts until the host frees a slot (paper Sect. 4.2).
+      const SimNanos slot_free = fetched_[j - shared_slots_];
+      if (slot_free > begin) {
+        device_stall_ += slot_free - begin;
+        begin = slot_free;
+      }
+    }
+    done_[j] = begin + batches_[j].work_ns;
+    ++computed_;
+  }
+}
+
+SimNanos BatchSchedule::Fetch(size_t i, SimNanos host_now,
+                              StageTimes* stages) {
+  if (i >= batches_.size()) return host_now;
+  if (fetched_[i] >= 0) return host_now;  // replay from host memory
+  ComputeDoneThrough(i);
+
+  const SimNanos wait = done_[i] > host_now ? done_[i] - host_now : 0;
+  if (stages != nullptr) {
+    if (!first_fetch_done_) {
+      stages->initial_wait += wait;
+    } else {
+      stages->later_waits += wait;
+    }
+  }
+  first_fetch_done_ = true;
+
+  const SimNanos transfer = hw_->pcie.TransferTime(batches_[i].bytes);
+  if (stages != nullptr) stages->result_transfer += transfer;
+  const SimNanos arrival = (host_now > done_[i] ? host_now : done_[i]) + transfer;
+  fetched_[i] = arrival;
+  return arrival;
+}
+
+StallingSourceOp::StallingSourceOp(rel::Schema schema,
+                                   const std::vector<std::string>* rows,
+                                   BatchSchedule* schedule,
+                                   sim::AccessContext* host_ctx,
+                                   StageTimes* stages)
+    : schema_(std::move(schema)),
+      rows_(rows),
+      schedule_(schedule),
+      host_ctx_(host_ctx),
+      stages_(stages) {}
+
+Status StallingSourceOp::Open() {
+  pos_ = 0;
+  next_batch_ = 0;
+  batch_rows_left_ = 0;
+  return Status::OK();
+}
+
+Status StallingSourceOp::Rewind() { return Open(); }
+
+bool StallingSourceOp::Next(std::string* row) {
+  while (batch_rows_left_ == 0) {
+    if (next_batch_ >= schedule_->num_batches()) return false;
+    const SimNanos arrival =
+        schedule_->Fetch(next_batch_, host_ctx_->now(), stages_);
+    host_ctx_->clock().AdvanceTo(arrival);
+    batch_rows_left_ = schedule_->BatchRowCount(next_batch_);
+    ++next_batch_;
+  }
+  if (pos_ >= rows_->size()) return false;
+  *row = (*rows_)[pos_++];
+  --batch_rows_left_;
+  ++rows_produced_;
+  // Fig. 7.D: the host maps each incoming record into its engine-internal
+  // structures — the received stream still flows through the interpreted
+  // row pipeline, like any other storage-engine handler source.
+  if (host_ctx_ != nullptr) {
+    host_ctx_->Charge(sim::CostKind::kRecordEval, 1);
+    host_ctx_->ChargeCopy(row->size());
+  }
+  return true;
+}
+
+}  // namespace hybridndp::hybrid

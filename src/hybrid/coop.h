@@ -1,0 +1,99 @@
+// Cooperative execution plumbing (paper Sect. 4, Figs. 7/17): merges the
+// device production timeline with the host consumption timeline through the
+// multi-slot shared result buffer. The device runs ahead of the host by at
+// most `shared_slots` batches (then core 1 halts until a slot frees); the
+// host stalls whenever the batch it needs has not been produced/transferred
+// yet. Waits are accounted exactly as the paper's Table 4 stages.
+
+#pragma once
+
+#include <vector>
+
+#include "exec/operator.h"
+#include "ndp/device_executor.h"
+#include "sim/cost.h"
+
+namespace hybridndp::hybrid {
+
+/// Host-side stage durations (paper Table 4, left).
+struct StageTimes {
+  SimNanos ndp_setup = 0;        ///< command preparation + invocation
+  SimNanos initial_wait = 0;     ///< wait for the first intermediate result
+  SimNanos later_waits = 0;      ///< waits for 2nd, 3rd, ... result sets
+  SimNanos result_transfer = 0;  ///< PCIe shipping of result batches
+  SimNanos processing = 0;       ///< host PQEP execution (set by caller)
+
+  SimNanos total() const {
+    return ndp_setup + initial_wait + later_waits + result_transfer +
+           processing;
+  }
+  std::string ToString() const;
+};
+
+/// Shared-buffer schedule for one device stream: computes, lazily and in
+/// fetch order, when each batch becomes available to the host, honoring the
+/// slot back-pressure on the device side.
+class BatchSchedule {
+ public:
+  /// `batches`: device work duration + bytes per batch, in production order.
+  /// `eager`: fetch without slot back-pressure (H0 leaf shipping — the host
+  /// drains every selection stream into host memory as it is produced).
+  BatchSchedule(std::vector<ndp::DeviceBatch> batches, int shared_slots,
+                const sim::HwParams* hw, SimNanos start_time, bool eager);
+
+  /// Host requests batch `i` at host-clock `host_now`; returns the time the
+  /// batch data is fully in host memory. Records wait/transfer attribution
+  /// into `stages` (initial vs later waits).
+  SimNanos Fetch(size_t i, SimNanos host_now, StageTimes* stages);
+
+  size_t num_batches() const { return batches_.size(); }
+  uint64_t BatchRowCount(size_t i) const { return batches_[i].rows; }
+  /// Device clock when the last batch finished (call after all fetches).
+  SimNanos device_finish() const { return done_.empty() ? start_ : done_.back(); }
+  /// Total time core 1 spent halted waiting for a free slot.
+  SimNanos device_stall() const { return device_stall_; }
+
+ private:
+  /// Ensure done_[j] is computed for all j <= i.
+  void ComputeDoneThrough(size_t i);
+
+  std::vector<ndp::DeviceBatch> batches_;
+  int shared_slots_;
+  const sim::HwParams* hw_;
+  SimNanos start_;
+  bool eager_;
+  std::vector<SimNanos> done_;    ///< device completion time per batch
+  std::vector<SimNanos> fetched_; ///< host fetch completion per batch
+  size_t computed_ = 0;
+  SimNanos device_stall_ = 0;
+  bool first_fetch_done_ = false;
+};
+
+/// Volcano source over device-produced rows that stalls the host clock
+/// until each batch has arrived (paper Fig. 7.B/D). Rewind replays from
+/// host memory without new waits (data already fetched).
+class StallingSourceOp final : public exec::Operator {
+ public:
+  StallingSourceOp(rel::Schema schema, const std::vector<std::string>* rows,
+                   BatchSchedule* schedule, sim::AccessContext* host_ctx,
+                   StageTimes* stages);
+
+  const rel::Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  bool Next(std::string* row) override;
+  Status Rewind() override;
+  std::string Describe() const override { return "StallingSource"; }
+
+ private:
+  rel::Schema schema_;
+  const std::vector<std::string>* rows_;
+  BatchSchedule* schedule_;
+  sim::AccessContext* host_ctx_;
+  StageTimes* stages_;
+  size_t pos_ = 0;
+  size_t next_batch_ = 0;       ///< next batch to fetch
+  uint64_t batch_rows_left_ = 0;
+  size_t fetched_batches_ = 0;  ///< high-water mark across rewinds
+};
+
+}  // namespace hybridndp::hybrid

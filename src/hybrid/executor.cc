@@ -1,0 +1,314 @@
+#include "hybrid/executor.h"
+
+#include <algorithm>
+
+namespace hybridndp::hybrid {
+
+namespace {
+
+/// Default NDP-command setup latency on the host (command preparation, data
+/// dictionary lookups, invocation; paper Table 4: negligible share).
+constexpr SimNanos kNdpSetupNs = 121'000;
+
+/// Conjunction of extra join edges as a post-join filter expression.
+exec::Expr::Ptr ExtraEdgeFilter(const std::vector<exec::JoinKey>& edges) {
+  if (edges.empty()) return nullptr;
+  std::vector<exec::Expr::Ptr> cmps;
+  for (const auto& e : edges) {
+    cmps.push_back(
+        exec::Expr::CmpCol(e.left_col, exec::CmpOp::kEq, e.right_col));
+  }
+  if (cmps.size() == 1) return cmps[0];
+  return exec::Expr::And(std::move(cmps));
+}
+
+}  // namespace
+
+std::vector<ExecChoice> HybridExecutor::AllChoices(const Plan& plan) {
+  std::vector<ExecChoice> out;
+  out.push_back({Strategy::kHostBlk, 0});
+  out.push_back({Strategy::kHostNative, 0});
+  const int n = plan.num_tables();
+  for (int k = 0; k <= n - 2; ++k) {
+    out.push_back({Strategy::kHybrid, k});
+  }
+  out.push_back({Strategy::kFullNdp, 0});
+  return out;
+}
+
+exec::OperatorPtr HybridExecutor::BuildHostScan(const Plan& plan, size_t i,
+                                                sim::AccessContext* ctx,
+                                                lsm::BlockCache* cache,
+                                                sim::IoPath path) const {
+  (void)path;
+  const PlannedTable& pt = plan.order[i];
+  const std::string& alias = plan.query.tables[pt.query_table_idx].alias;
+  const exec::Expr::Ptr& pred = plan.query.tables[pt.query_table_idx].predicate;
+  lsm::ReadOptions opts;
+  opts.ctx = ctx;
+  opts.cache = cache;
+  if (pt.access.use_index) {
+    return std::make_unique<exec::IndexScanOp>(
+        pt.table, alias, pt.access.index_no, opts, pt.access.lo, pt.access.hi,
+        pred, pt.projection);
+  }
+  return std::make_unique<exec::TableScanOp>(pt.table, alias, opts, pred,
+                                             pt.projection);
+}
+
+Result<exec::OperatorPtr> HybridExecutor::BuildHostSuffix(
+    const Plan& plan, size_t from, exec::OperatorPtr acc,
+    sim::AccessContext* ctx, lsm::BlockCache* cache, sim::IoPath path,
+    bool add_root) const {
+  lsm::ReadOptions opts;
+  opts.ctx = ctx;
+  opts.cache = cache;
+  for (size_t i = from; i < plan.order.size(); ++i) {
+    const PlannedTable& pt = plan.order[i];
+    const std::string& alias = plan.query.tables[pt.query_table_idx].alias;
+    const exec::Expr::Ptr& pred =
+        plan.query.tables[pt.query_table_idx].predicate;
+    switch (pt.algo) {
+      case nkv::JoinAlgo::kBNLJI:
+        acc = std::make_unique<exec::BlockNLIndexJoinOp>(
+            std::move(acc), pt.outer_key_col, pt.table, alias,
+            pt.inner_join_col, opts, pred, pt.projection,
+            config_.host_join_buffer_bytes, ctx);
+        break;
+      case nkv::JoinAlgo::kBNLJ:
+        acc = std::make_unique<exec::BlockNLJoinOp>(
+            std::move(acc), BuildHostScan(plan, i, ctx, cache, path), pt.keys,
+            nullptr, config_.host_join_buffer_bytes, ctx);
+        break;
+      case nkv::JoinAlgo::kNLJ:
+        acc = std::make_unique<exec::NestedLoopJoinOp>(
+            std::move(acc), BuildHostScan(plan, i, ctx, cache, path), pt.keys,
+            nullptr, ctx);
+        break;
+      case nkv::JoinAlgo::kGHJ:
+        acc = std::make_unique<exec::GraceHashJoinOp>(
+            std::move(acc), BuildHostScan(plan, i, ctx, cache, path), pt.keys,
+            nullptr, 8, ctx);
+        break;
+    }
+    if (pt.algo == nkv::JoinAlgo::kBNLJI && !pt.extra_edges.empty()) {
+      acc = std::make_unique<exec::FilterOp>(std::move(acc),
+                                             ExtraEdgeFilter(pt.extra_edges),
+                                             ctx);
+    }
+  }
+  if (add_root) {
+    if (plan.query.has_agg) {
+      acc = std::make_unique<exec::GroupByAggOp>(
+          std::move(acc), plan.query.group_cols, plan.query.aggs, ctx);
+    } else if (!plan.query.select_columns.empty()) {
+      acc = std::make_unique<exec::ProjectOp>(std::move(acc),
+                                              plan.query.select_columns, ctx);
+    }
+  }
+  return acc;
+}
+
+Result<RunResult> HybridExecutor::RunHostOnly(const Plan& plan,
+                                              const ExecChoice& choice,
+                                              lsm::BlockCache* cache) const {
+  const sim::IoPath path = choice.strategy == Strategy::kHostBlk
+                               ? sim::IoPath::kBlk
+                               : sim::IoPath::kNative;
+  sim::AccessContext ctx(hw_, sim::Actor::kHost, path);
+
+  exec::OperatorPtr root = BuildHostScan(plan, 0, &ctx, cache, path);
+  HNDP_ASSIGN_OR_RETURN(root, BuildHostSuffix(plan, 1, std::move(root), &ctx,
+                                              cache, path, /*add_root=*/true));
+  HNDP_ASSIGN_OR_RETURN(std::vector<std::string> rows,
+                        exec::CollectAll(root.get()));
+
+  RunResult result;
+  result.choice = choice;
+  result.schema = root->output_schema();
+  result.rows = std::move(rows);
+  result.host_counters = ctx.counters();
+  result.host_stages.processing = ctx.counters().TotalTime();
+  result.total_ns = ctx.now();
+  return result;
+}
+
+nkv::NdpCommand HybridExecutor::BuildNdpCommand(const Plan& plan,
+                                                int split_joins,
+                                                bool full_ndp,
+                                                int cache_format) const {
+  nkv::NdpCommand cmd;
+  cmd.buffers = config_.buffers;
+  cmd.force_cache_format = cache_format;
+  const size_t num_tables = full_ndp ? plan.order.size()
+                            : split_joins == 0
+                                ? plan.order.size()
+                                : static_cast<size_t>(split_joins) + 1;
+  cmd.scans_only = !full_ndp && split_joins == 0;
+
+  for (size_t i = 0; i < num_tables; ++i) {
+    const PlannedTable& pt = plan.order[i];
+    const auto& ref = plan.query.tables[pt.query_table_idx];
+    nkv::NdpTableAccess access = nkv::SnapshotTable(*pt.table, ref.alias);
+    access.predicate = ref.predicate;
+    access.projection = pt.projection;
+    access.use_index_scan = pt.access.use_index;
+    access.index_no = pt.access.index_no;
+    access.index_lo = pt.access.lo;
+    access.index_hi = pt.access.hi;
+    cmd.snapshot = access.primary.sequence;
+    cmd.tables.push_back(std::move(access));
+  }
+  if (!cmd.scans_only) {
+    for (size_t i = 1; i < num_tables; ++i) {
+      const PlannedTable& pt = plan.order[i];
+      nkv::NdpJoinStage stage;
+      stage.algo = pt.algo;
+      stage.keys = pt.keys;
+      stage.outer_key_col = pt.outer_key_col;
+      stage.inner_join_col = pt.inner_join_col;
+      if (pt.algo == nkv::JoinAlgo::kBNLJI) {
+        stage.residual = ExtraEdgeFilter(pt.extra_edges);
+      }
+      cmd.joins.push_back(std::move(stage));
+    }
+  }
+  if (full_ndp) {
+    cmd.has_agg = plan.query.has_agg;
+    cmd.group_cols = plan.query.group_cols;
+    cmd.aggs = plan.query.aggs;
+    if (!plan.query.has_agg) {
+      cmd.output_projection = plan.query.select_columns;
+    }
+  }
+  return cmd;
+}
+
+Result<RunResult> HybridExecutor::RunDeviceAssisted(
+    const Plan& plan, const ExecChoice& choice, lsm::BlockCache* cache) const {
+  const bool full_ndp = choice.strategy == Strategy::kFullNdp;
+  const int k = choice.split_joins;
+
+  nkv::NdpCommand cmd =
+      BuildNdpCommand(plan, k, full_ndp, choice.cache_format);
+  ndp::DeviceExecutor device(storage_, hw_);
+  HNDP_ASSIGN_OR_RETURN(ndp::DeviceRunResult dev, device.Execute(cmd));
+
+  RunResult result;
+  result.choice = choice;
+  result.device_counters = dev.counters;
+  result.device_busy_ns = dev.total_work_ns;
+  result.device_rows = dev.total_rows();
+  result.transferred_bytes = dev.total_bytes();
+  result.num_batches = static_cast<int>(dev.batches.size());
+  result.pointer_cache = dev.pointer_cache;
+
+  sim::AccessContext host_ctx(hw_, sim::Actor::kHost, sim::IoPath::kNative);
+  StageTimes& stages = result.host_stages;
+  stages.ndp_setup = kNdpSetupNs;
+  host_ctx.ChargeLatency(kNdpSetupNs);
+
+  // Build batch schedules. Pipelined plans have one stream with slot
+  // back-pressure; H0 ships every leaf stream eagerly into host memory.
+  std::vector<std::vector<ndp::DeviceBatch>> per_stream(
+      dev.stream_rows.size());
+  if (cmd.scans_only) {
+    // Convert global production order into per-stream absolute durations:
+    // cumulative work across all streams (single NDP core).
+    std::vector<SimNanos> last_done(dev.stream_rows.size(), kNdpSetupNs);
+    SimNanos now = kNdpSetupNs;
+    for (const auto& b : dev.batches) {
+      now += b.work_ns;
+      ndp::DeviceBatch adjusted = b;
+      adjusted.work_ns = now - last_done[b.stream];
+      last_done[b.stream] = now;
+      per_stream[b.stream].push_back(adjusted);
+    }
+  } else {
+    per_stream[0] = dev.batches;
+  }
+  std::vector<std::unique_ptr<BatchSchedule>> schedules;
+  for (auto& batches : per_stream) {
+    schedules.push_back(std::make_unique<BatchSchedule>(
+        std::move(batches), cmd.buffers.shared_slots, hw_, kNdpSetupNs,
+        /*eager=*/cmd.scans_only));
+  }
+
+  // Assemble + run the host PQEP.
+  exec::OperatorPtr root;
+  if (full_ndp) {
+    root = std::make_unique<StallingSourceOp>(dev.schema(), &dev.rows(),
+                                              schedules[0].get(), &host_ctx,
+                                              &stages);
+  } else if (cmd.scans_only) {
+    // H0: all joins on the host over the shipped leaf streams.
+    root = std::make_unique<StallingSourceOp>(dev.stream_schemas[0],
+                                              &dev.stream_rows[0],
+                                              schedules[0].get(), &host_ctx,
+                                              &stages);
+    for (size_t i = 1; i < plan.order.size(); ++i) {
+      const PlannedTable& pt = plan.order[i];
+      auto inner = std::make_unique<StallingSourceOp>(
+          dev.stream_schemas[i], &dev.stream_rows[i], schedules[i].get(),
+          &host_ctx, &stages);
+      // Equi-keys: every edge is in pt.keys regardless of the chosen algo.
+      const std::vector<exec::JoinKey>& keys = pt.keys;
+      if (keys.empty()) {
+        root = std::make_unique<exec::NestedLoopJoinOp>(
+            std::move(root), std::move(inner), keys, nullptr, &host_ctx);
+      } else {
+        root = std::make_unique<exec::BlockNLJoinOp>(
+            std::move(root), std::move(inner), keys, nullptr,
+            config_.host_join_buffer_bytes, &host_ctx);
+      }
+    }
+    HNDP_ASSIGN_OR_RETURN(
+        root, BuildHostSuffix(plan, plan.order.size(), std::move(root),
+                              &host_ctx, cache, sim::IoPath::kNative,
+                              /*add_root=*/true));
+  } else {
+    // Hk: host continues the left-deep plan from position k+1.
+    root = std::make_unique<StallingSourceOp>(dev.schema(), &dev.rows(),
+                                              schedules[0].get(), &host_ctx,
+                                              &stages);
+    HNDP_ASSIGN_OR_RETURN(
+        root, BuildHostSuffix(plan, static_cast<size_t>(k) + 1,
+                              std::move(root), &host_ctx, cache,
+                              sim::IoPath::kNative, /*add_root=*/true));
+  }
+  if (full_ndp && !plan.query.has_agg && !plan.query.select_columns.empty()) {
+    // Result already projected on-device; nothing to add.
+  }
+
+  HNDP_ASSIGN_OR_RETURN(std::vector<std::string> rows,
+                        exec::CollectAll(root.get()));
+
+  result.schema = root->output_schema();
+  result.rows = std::move(rows);
+  result.host_counters = host_ctx.counters();
+  stages.processing = host_ctx.counters().TotalTime();
+  for (const auto& schedule : schedules) {
+    result.device_stall_ns += schedule->device_stall();
+  }
+  result.total_ns = host_ctx.now();
+  return result;
+}
+
+Result<RunResult> HybridExecutor::Run(const Plan& plan,
+                                      const ExecChoice& choice,
+                                      lsm::BlockCache* cache) const {
+  if (plan.order.empty()) {
+    return Status::InvalidArgument("empty plan");
+  }
+  switch (choice.strategy) {
+    case Strategy::kHostBlk:
+    case Strategy::kHostNative:
+      return RunHostOnly(plan, choice, cache);
+    case Strategy::kFullNdp:
+    case Strategy::kHybrid:
+      return RunDeviceAssisted(plan, choice, cache);
+  }
+  return Status::InvalidArgument("bad strategy");
+}
+
+}  // namespace hybridndp::hybrid

@@ -1,0 +1,89 @@
+// Executes a planned query under any strategy: host-only over the BLK or
+// NATIVE stack, full on-device NDP, or a hybrid split Hk with cooperative
+// host/device execution (the paper's execution model, Sect. 4). All
+// strategies produce identical result sets; they differ in the simulated
+// timeline.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hybrid/coop.h"
+#include "hybrid/plan.h"
+#include "hybrid/planner.h"
+#include "lsm/block_cache.h"
+#include "ndp/device_executor.h"
+#include "rel/table.h"
+
+namespace hybridndp::hybrid {
+
+/// Outcome of one query execution.
+struct RunResult {
+  ExecChoice choice;
+  SimNanos total_ns = 0;
+  rel::Schema schema;
+  std::vector<std::string> rows;
+
+  StageTimes host_stages;               ///< Table 4 (left)
+  sim::CostCounters host_counters;
+  sim::CostCounters device_counters;    ///< Table 4 (right)
+  SimNanos device_busy_ns = 0;
+  SimNanos device_stall_ns = 0;
+  uint64_t device_rows = 0;             ///< intermediate results shipped
+  uint64_t transferred_bytes = 0;
+  int num_batches = 0;
+  bool pointer_cache = false;
+
+  uint64_t result_rows() const { return rows.size(); }
+  double total_ms() const { return total_ns / kNanosPerMilli; }
+};
+
+/// Strategy-parameterized query executor.
+class HybridExecutor {
+ public:
+  HybridExecutor(const rel::Catalog* catalog, const lsm::VirtualStorage* storage,
+                 const sim::HwParams* hw, PlannerConfig config = {})
+      : catalog_(catalog), storage_(storage), hw_(hw), config_(config) {}
+
+  /// Run `plan` under `choice`. `host_cache` (optional) is the host block
+  /// cache; pass a fresh cache per run for cold-start numbers.
+  Result<RunResult> Run(const Plan& plan, const ExecChoice& choice,
+                        lsm::BlockCache* host_cache = nullptr) const;
+
+  /// Convenience: every executable choice for a plan, in the order
+  /// BLK, NATIVE, H0..H(n-2), NDP.
+  static std::vector<ExecChoice> AllChoices(const Plan& plan);
+
+ private:
+  Result<RunResult> RunHostOnly(const Plan& plan, const ExecChoice& choice,
+                                lsm::BlockCache* cache) const;
+  Result<RunResult> RunDeviceAssisted(const Plan& plan,
+                                      const ExecChoice& choice,
+                                      lsm::BlockCache* cache) const;
+
+  /// Build the NDP command for tables [0..k] (+ joins, or scans_only).
+  nkv::NdpCommand BuildNdpCommand(const Plan& plan, int split_joins,
+                                  bool full_ndp, int cache_format = 0) const;
+
+  /// Append host-side joins for plan positions [from, n) on top of `acc`.
+  Result<exec::OperatorPtr> BuildHostSuffix(const Plan& plan, size_t from,
+                                            exec::OperatorPtr acc,
+                                            sim::AccessContext* ctx,
+                                            lsm::BlockCache* cache,
+                                            sim::IoPath path,
+                                            bool add_root) const;
+
+  /// Build the host-side leaf scan for plan position `i`.
+  exec::OperatorPtr BuildHostScan(const Plan& plan, size_t i,
+                                  sim::AccessContext* ctx,
+                                  lsm::BlockCache* cache,
+                                  sim::IoPath path) const;
+
+  const rel::Catalog* catalog_;
+  const lsm::VirtualStorage* storage_;
+  const sim::HwParams* hw_;
+  PlannerConfig config_;
+};
+
+}  // namespace hybridndp::hybrid

@@ -1,0 +1,67 @@
+// The hybridNDP planner (paper Sect. 3): selectivity estimation from table
+// statistics, greedy left-deep join ordering, access-path and join-algorithm
+// selection, the cost model of eqs. (1)-(8), and the split-point
+// computation of eqs. (9)-(12) / Fig. 5.
+
+#pragma once
+
+#include "hybrid/plan.h"
+#include "rel/table.h"
+#include "sim/hw_model.h"
+
+namespace hybridndp::hybrid {
+
+/// Planner tuning (paper Table 1, "User / Configuration Variables").
+struct PlannerConfig {
+  double usr_rec_cycles = 170;   ///< row evaluation cost, abstract cycles
+  /// Index access is preferred when the predicate keeps less than this
+  /// fraction of the table.
+  double index_selectivity_threshold = 0.15;
+  /// Preconditions (Sect. 3.3): minimum tables for a split.
+  int min_tables_for_split = 2;
+  /// Minimum transfer volume (fraction of one shared slot) for offloading
+  /// to be considered at all.
+  double min_transfer_fill = 0.05;
+  /// Join buffer / selection buffer / shared slots deployed per NDP command.
+  nkv::NdpBufferConfig buffers;
+  /// Host-side join buffer bytes.
+  uint64_t host_join_buffer_bytes = 64ull << 20;
+};
+
+/// Estimate the selectivity of a (bound or unbound) predicate against one
+/// table's statistics. Column names may carry an "alias." prefix.
+double EstimateSelectivity(const exec::Expr* expr, const rel::TableStats& stats,
+                           const rel::Schema& schema,
+                           const std::string& alias);
+
+/// The query planner + cost model.
+class Planner {
+ public:
+  Planner(const rel::Catalog* catalog, const sim::HwParams* hw,
+          PlannerConfig config = {})
+      : catalog_(catalog), hw_(hw), config_(config) {}
+
+  /// Produce the full plan: join order, access paths, costs, split choice.
+  Result<Plan> PlanQuery(const Query& query) const;
+
+  const PlannerConfig& config() const { return config_; }
+
+ private:
+  /// Choose the access path for one table given its predicate.
+  AccessPath ChooseAccessPath(const rel::Table& table,
+                              const exec::Expr::Ptr& predicate,
+                              const std::string& alias,
+                              uint64_t needed_bytes) const;
+
+  /// Estimated |prefix join table| given estimated inputs.
+  uint64_t EstimateJoinRows(uint64_t prefix_rows, const rel::Table& table,
+                            const AccessPath& access,
+                            const std::vector<exec::JoinKey>& keys,
+                            int inner_key_col) const;
+
+  const rel::Catalog* catalog_;
+  const sim::HwParams* hw_;
+  PlannerConfig config_;
+};
+
+}  // namespace hybridndp::hybrid

@@ -1,0 +1,55 @@
+// Declarative query specification: tables with single-table predicates,
+// equi-join edges, final projection/aggregation. This is the planner's
+// input (the role MySQL's parsed query plays for hybridNDP).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace hybridndp::hybrid {
+
+/// One table reference with its pushed-down (single-table) predicate.
+struct TableRef {
+  std::string table;   ///< catalog name
+  std::string alias;   ///< alias used in column references ("t", "mc", ...)
+  exec::Expr::Ptr predicate;  ///< conjunction over "alias.col" names (may be null)
+};
+
+/// One equi-join edge: left.alias.col = right.alias.col.
+struct JoinEdge {
+  std::string left_alias;
+  std::string left_col;   ///< unaliased column name
+  std::string right_alias;
+  std::string right_col;
+
+  std::string LeftName() const { return left_alias + "." + left_col; }
+  std::string RightName() const { return right_alias + "." + right_col; }
+};
+
+/// A select-project-join(-aggregate) query.
+struct Query {
+  std::string name;  ///< e.g. "JOB 8c"
+  std::vector<TableRef> tables;
+  std::vector<JoinEdge> joins;
+
+  /// Final output columns (aliased). Ignored when has_agg is set and aggs
+  /// fully define the output.
+  std::vector<std::string> select_columns;
+
+  bool has_agg = false;
+  std::vector<std::string> group_cols;
+  std::vector<exec::AggSpec> aggs;
+
+  int FindTable(const std::string& alias) const {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (tables[i].alias == alias) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace hybridndp::hybrid

@@ -1,0 +1,334 @@
+#include "job/generator.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace hybridndp::job {
+
+namespace {
+
+using rel::RowBuilder;
+
+const std::vector<std::string>& CompanyTypeKinds() {
+  static const std::vector<std::string> kKinds = {
+      "production companies", "distributors", "special effects companies",
+      "miscellaneous companies"};
+  return kKinds;
+}
+
+const std::vector<std::string>& CompCastTypeKinds() {
+  static const std::vector<std::string> kKinds = {"cast", "crew", "complete",
+                                                  "complete+verified"};
+  return kKinds;
+}
+
+const std::vector<std::string>& KindTypeKinds() {
+  static const std::vector<std::string> kKinds = {
+      "movie",   "tv series",     "tv movie", "video movie",
+      "video game", "episode",    "tv mini series"};
+  return kKinds;
+}
+
+const std::vector<std::string>& LinkTypeLinks() {
+  static const std::vector<std::string> kLinks = {
+      "follows",       "followed by",   "remake of",    "remade as",
+      "references",    "referenced in", "spoofs",       "spoofed in",
+      "features",      "featured in",   "spin off from", "spin off",
+      "version of",    "similar to",    "edited into",  "edited from",
+      "alternate language version of",  "unknown link"};
+  return kLinks;
+}
+
+const std::vector<std::string>& RoleTypeRoles() {
+  static const std::vector<std::string> kRoles = {
+      "actor",    "actress", "producer", "writer",
+      "cinematographer", "composer", "costume designer", "director",
+      "editor",   "guest",   "miscellaneous crew", "production designer"};
+  return kRoles;
+}
+
+/// First entries of info_type get the names the JOB predicates use.
+std::string InfoTypeName(uint64_t id) {
+  static const std::vector<std::string> kNamed = {
+      "top 250 rank", "bottom 10 rank", "rating",      "votes",
+      "genres",       "release dates",  "budget",      "gross",
+      "runtimes",     "countries",      "languages",   "certificates",
+      "color info",   "sound mix",      "trivia",      "mini biography",
+      "birth notes",  "height",         "quotes",      "taglines"};
+  if (id <= kNamed.size()) return kNamed[id - 1];
+  return "info type " + std::to_string(id);
+}
+
+const std::vector<std::string>& Genres() {
+  static const std::vector<std::string> kGenres = {
+      "Drama",    "Comedy",  "Documentary", "Horror",   "Action",
+      "Thriller", "Romance", "Animation",   "Crime",    "Adventure",
+      "Family",   "Sci-Fi",  "Fantasy",     "Mystery",  "Biography",
+      "History",  "Sport",   "Music",       "War",      "Western"};
+  return kGenres;
+}
+
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string> kCountries = {
+      "USA",    "UK",     "Germany", "France", "Italy",  "Japan",
+      "Canada", "India",  "Spain",   "Sweden", "Denmark", "Australia"};
+  return kCountries;
+}
+
+const std::vector<std::string>& CountryCodes() {
+  static const std::vector<std::string> kCodes = {
+      "[us]", "[gb]", "[de]", "[fr]", "[it]", "[jp]",
+      "[ca]", "[in]", "[es]", "[se]", "[dk]", "[au]"};
+  return kCodes;
+}
+
+const std::vector<std::string>& CastNotes() {
+  static const std::vector<std::string> kNotes = {
+      "(voice)",
+      "(voice) (uncredited)",
+      "(uncredited)",
+      "(producer)",
+      "(executive producer)",
+      "(writer)",
+      "(story)",
+      "(screenplay)",
+      "(voice: English version)",
+      "(archive footage)",
+      "(as himself)"};
+  return kNotes;
+}
+
+const std::vector<std::string>& KeywordSeeds() {
+  static const std::vector<std::string> kSeeds = {
+      "character-name-in-title", "superhero", "marvel-cinematic-universe",
+      "based-on-novel", "sequel", "murder", "blood", "violence", "gore",
+      "female-nudity", "hero", "martial-arts", "hand-to-hand-combat",
+      "second-part", "revenge", "magnet", "web", "computer", "bomb", "fight"};
+  return kSeeds;
+}
+
+}  // namespace
+
+Status JobDataGenerator::FillTable(const JobTableSpec& spec) {
+  rel::Table* table = catalog_->Get(spec.name);
+  if (table == nullptr) {
+    return Status::InvalidArgument(std::string("table missing: ") + spec.name);
+  }
+  const uint64_t rows = ScaledRows(spec, options_.scale);
+  const std::string name = spec.name;
+
+  // Per-table deterministic stream (independent of fill order).
+  Rng rng(options_.seed ^ Hash64(name.data(), name.size()));
+
+  auto scaled = [&](const char* ref) {
+    for (const auto& s : JobTables()) {
+      if (name != s.name && std::string(s.name) == ref) {
+        return ScaledRows(s, options_.scale);
+      }
+    }
+    return uint64_t{1};
+  };
+  const uint64_t n_title = scaled("title");
+  const uint64_t n_name = scaled("name");
+  const uint64_t n_char = scaled("char_name");
+  const uint64_t n_company = scaled("company_name");
+  const uint64_t n_keyword = scaled("keyword");
+
+  // Skew: moderate Zipf factors. Hot-entity fan-out exists (popular movies
+  // appear in many cast_info/movie_companies rows) without the quadratic
+  // hot-spot blowups a steeper double-Zipf would create.
+  auto movie_ref = [&] {
+    return static_cast<int32_t>(rng.Zipf(n_title, 0.45) + 1);
+  };
+  auto person_ref = [&] {
+    return static_cast<int32_t>(rng.Zipf(n_name, 0.5) + 1);
+  };
+
+  const rel::Schema& schema = table->schema();
+  for (uint64_t i = 1; i <= rows; ++i) {
+    RowBuilder rb(&schema);
+    rb.SetInt(0, static_cast<int32_t>(i));
+
+    if (name == "company_type") {
+      rb.SetString(1, CompanyTypeKinds()[(i - 1) % CompanyTypeKinds().size()]);
+    } else if (name == "comp_cast_type") {
+      rb.SetString(1, CompCastTypeKinds()[(i - 1) % CompCastTypeKinds().size()]);
+    } else if (name == "kind_type") {
+      rb.SetString(1, KindTypeKinds()[(i - 1) % KindTypeKinds().size()]);
+    } else if (name == "link_type") {
+      rb.SetString(1, LinkTypeLinks()[(i - 1) % LinkTypeLinks().size()]);
+    } else if (name == "role_type") {
+      rb.SetString(1, RoleTypeRoles()[(i - 1) % RoleTypeRoles().size()]);
+    } else if (name == "info_type") {
+      rb.SetString(1, InfoTypeName(i));
+    } else if (name == "title") {
+      std::string t = "t" + std::to_string(i);
+      const double u = rng.NextDouble();
+      if (u < 0.04) {
+        t += " Champion";
+      } else if (u < 0.07) {
+        t += " Money";
+      } else if (u < 0.10) {
+        t += " Freddy";
+      } else {
+        t += " " + rng.NextString(6);
+      }
+      rb.SetString(1, t);
+      rb.SetInt(2, static_cast<int32_t>(rng.Zipf(KindTypeKinds().size(), 0.7) + 1));
+      rb.SetInt(3, static_cast<int32_t>(2019 - rng.Zipf(139, 0.5)));
+    } else if (name == "name") {
+      std::string nm = rng.NextString(5) + " " + rng.NextString(7);
+      const double u = rng.NextDouble();
+      if (u < 0.03) nm = "Tim " + rng.NextString(6);
+      else if (u < 0.05) nm = "B" + rng.NextString(5);
+      else if (u < 0.07) nm = "X" + rng.NextString(4) + "us";
+      rb.SetString(1, nm);
+      const double g = rng.NextDouble();
+      rb.SetString(2, g < 0.55 ? "m" : (g < 0.93 ? "f" : ""));
+    } else if (name == "char_name") {
+      rb.SetString(1, (rng.Bernoulli(0.05) ? std::string("Queen ") : "") +
+                          rng.NextString(8));
+    } else if (name == "company_name") {
+      std::string cn = rng.NextString(6) + " ";
+      const double u = rng.NextDouble();
+      if (u < 0.10) cn += "Film Works";
+      else if (u < 0.16) cn += "Warner Communications";
+      else if (u < 0.28) cn += "Pictures";
+      else cn += rng.NextString(5);
+      rb.SetString(1, cn);
+      rb.SetString(2, CountryCodes()[rng.Zipf(CountryCodes().size(), 0.8)]);
+    } else if (name == "keyword") {
+      const auto& seeds = KeywordSeeds();
+      rb.SetString(1, i <= seeds.size() ? seeds[i - 1]
+                                        : "kw-" + rng.NextString(8));
+    } else if (name == "movie_companies") {
+      rb.SetInt(1, movie_ref());
+      rb.SetInt(2, static_cast<int32_t>(rng.Zipf(n_company, 0.5) + 1));
+      rb.SetInt(3, static_cast<int32_t>(rng.Zipf(4, 0.7) + 1));
+      std::string note;
+      const double u = rng.NextDouble();
+      if (u < 0.35) {
+        note = "";
+      } else if (u < 0.45) {
+        note = "(co-production)";
+      } else if (u < 0.55) {
+        note = "(presents)";
+      } else if (u < 0.60) {
+        note = "(as Metro-Goldwyn-Mayer Pictures)";
+      } else if (u < 0.72) {
+        note = "(" + std::to_string(1990 + rng.Uniform(30)) + ") (worldwide)";
+      } else if (u < 0.85) {
+        note = "(" + std::to_string(1990 + rng.Uniform(30)) + ") (USA)";
+      } else {
+        note = "(VHS) (" + rng.NextString(4) + ")";
+      }
+      rb.SetString(4, note);
+    } else if (name == "movie_info") {
+      rb.SetInt(1, movie_ref());
+      const uint64_t it = rng.Zipf(113, 0.8) + 1;
+      rb.SetInt(2, static_cast<int32_t>(it));
+      if (it == 5) {  // genres
+        rb.SetString(3, Genres()[rng.Zipf(Genres().size(), 0.5)]);
+      } else if (it == 6) {  // release dates
+        rb.SetString(3, Countries()[rng.Zipf(Countries().size(), 0.6)] + ":" +
+                            std::to_string(1950 + rng.Uniform(70)));
+      } else if (it == 10) {  // countries
+        rb.SetString(3, Countries()[rng.Zipf(Countries().size(), 0.6)]);
+      } else if (it == 7 || it == 8) {  // budget / gross
+        rb.SetString(3, "$" + std::to_string(1000000 + rng.Uniform(200000000)));
+      } else {
+        rb.SetString(3, rng.NextString(10));
+      }
+    } else if (name == "movie_info_idx") {
+      rb.SetInt(1, movie_ref());
+      // rating / votes / top 250 / bottom 10, votes+rating dominant.
+      const double u = rng.NextDouble();
+      int32_t it;
+      if (u < 0.45) it = 3;        // rating
+      else if (u < 0.9) it = 4;    // votes
+      else if (u < 0.96) it = 1;   // top 250 rank
+      else it = 2;                 // bottom 10 rank
+      rb.SetInt(2, it);
+      if (it == 3) {
+        rb.SetString(3, std::to_string(1 + rng.Uniform(9)) + "." +
+                            std::to_string(rng.Uniform(10)));
+      } else if (it == 4) {
+        rb.SetString(3, std::to_string(5 + rng.Uniform(500000)));
+      } else {
+        rb.SetString(3, std::to_string(1 + rng.Uniform(250)));
+      }
+    } else if (name == "movie_keyword") {
+      rb.SetInt(1, movie_ref());
+      rb.SetInt(2, static_cast<int32_t>(rng.Zipf(n_keyword, 0.3) + 1));
+    } else if (name == "movie_link") {
+      rb.SetInt(1, movie_ref());
+      rb.SetInt(2, movie_ref());
+      rb.SetInt(3, static_cast<int32_t>(rng.Uniform(18) + 1));
+    } else if (name == "cast_info") {
+      rb.SetInt(1, person_ref());
+      rb.SetInt(2, movie_ref());
+      rb.SetInt(3, rng.Bernoulli(0.2)
+                       ? 0
+                       : static_cast<int32_t>(rng.Zipf(n_char, 0.5) + 1));
+      rb.SetInt(4, static_cast<int32_t>(rng.Zipf(12, 0.8) + 1));
+      rb.SetString(5, rng.Bernoulli(0.4)
+                          ? ""
+                          : CastNotes()[rng.Zipf(CastNotes().size(), 0.6)]);
+    } else if (name == "complete_cast") {
+      rb.SetInt(1, movie_ref());
+      rb.SetInt(2, static_cast<int32_t>(1 + rng.Uniform(2)));   // cast/crew
+      rb.SetInt(3, static_cast<int32_t>(3 + rng.Uniform(2)));   // complete*
+    } else if (name == "person_info") {
+      rb.SetInt(1, person_ref());
+      rb.SetInt(2, static_cast<int32_t>(rng.Zipf(20, 0.6) + 1));
+      rb.SetString(3, rng.Bernoulli(0.02) ? "Volker Boehm"
+                                          : rng.NextString(12));
+    } else if (name == "aka_name") {
+      rb.SetInt(1, person_ref());
+      std::string an = rng.NextString(8);
+      if (rng.Bernoulli(0.3)) an += " a " + rng.NextString(4);
+      rb.SetString(2, an);
+    } else if (name == "aka_title") {
+      rb.SetInt(1, movie_ref());
+      rb.SetString(2, "aka " + rng.NextString(10));
+    } else {
+      return Status::Internal("no generator for table " + name);
+    }
+    HNDP_RETURN_IF_ERROR(table->Insert(rb.row()));
+  }
+  total_rows_ += rows;
+  return Status::OK();
+}
+
+Status JobDataGenerator::Generate() {
+  for (const auto& spec : JobTables()) {
+    HNDP_RETURN_IF_ERROR(FillTable(spec));
+  }
+  lsm::DB* db = catalog_->db();
+  HNDP_RETURN_IF_ERROR(db->FlushAll());
+  for (const auto& spec : JobTables()) {
+    rel::Table* table = catalog_->Get(spec.name);
+    if (options_.compact_after_load) {
+      HNDP_RETURN_IF_ERROR(db->CompactAll(table->primary_cf()));
+      for (size_t i = 0; i < table->def().indexes.size(); ++i) {
+        HNDP_RETURN_IF_ERROR(db->CompactAll(table->index_cf(i)));
+      }
+    }
+    if (options_.analyze) {
+      HNDP_RETURN_IF_ERROR(table->AnalyzeStats());
+    }
+  }
+  return Status::OK();
+}
+
+Status BuildJobDatabase(rel::Catalog* catalog, JobDataOptions options) {
+  HNDP_RETURN_IF_ERROR(CreateJobTables(catalog));
+  JobDataGenerator generator(catalog, options);
+  return generator.Generate();
+}
+
+}  // namespace hybridndp::job

@@ -1,0 +1,48 @@
+// Deterministic synthetic IMDB-like data generator for the JOB schema.
+// Substitutes the real IMDB snapshot (not redistributable / too large for a
+// simulation): preserves the properties the paper's evaluation depends on —
+// relative table cardinalities, skewed foreign-key fan-out, dimension-table
+// vocabularies used by the JOB predicates, and LIKE-matchable note/title
+// markers — so the selectivity structure of the 113 queries carries over.
+
+#pragma once
+
+#include <cstdint>
+
+#include "job/schema.h"
+#include "rel/table.h"
+
+namespace hybridndp::job {
+
+struct JobDataOptions {
+  /// Fraction of the full 74.2 M-row dataset (default ~1/2000 = ~37 k rows).
+  double scale = 0.0005;
+  uint64_t seed = 42;
+  /// Push all data through flush+compaction into a steady LSM shape.
+  bool compact_after_load = true;
+  /// Collect statistics (MyRocks-style index samples) after loading.
+  bool analyze = true;
+};
+
+/// Fills a catalog that already contains the JOB tables.
+class JobDataGenerator {
+ public:
+  JobDataGenerator(rel::Catalog* catalog, JobDataOptions options)
+      : catalog_(catalog), options_(options) {}
+
+  Status Generate();
+
+  uint64_t total_rows() const { return total_rows_; }
+
+ private:
+  Status FillTable(const JobTableSpec& spec);
+
+  rel::Catalog* catalog_;
+  JobDataOptions options_;
+  uint64_t total_rows_ = 0;
+};
+
+/// One-call setup: create tables, generate data, compact, analyze.
+Status BuildJobDatabase(rel::Catalog* catalog, JobDataOptions options);
+
+}  // namespace hybridndp::job

@@ -1,0 +1,148 @@
+#include "job/schema.h"
+
+namespace hybridndp::job {
+
+using rel::CharCol;
+using rel::IntCol;
+using rel::Schema;
+using rel::TableDef;
+
+const std::vector<JobTableSpec>& JobTables() {
+  static const std::vector<JobTableSpec> kTables = {
+      {"aka_name", 901343, false},
+      {"aka_title", 361472, false},
+      {"cast_info", 36244344, false},
+      {"char_name", 3140339, false},
+      {"comp_cast_type", 4, true},
+      {"company_name", 234997, false},
+      {"company_type", 4, true},
+      {"complete_cast", 135086, false},
+      {"info_type", 113, true},
+      {"keyword", 134170, false},
+      {"kind_type", 7, true},
+      {"link_type", 18, true},
+      {"movie_companies", 2609129, false},
+      {"movie_info", 14835720, false},
+      {"movie_info_idx", 1380035, false},
+      {"movie_keyword", 4523930, false},
+      {"movie_link", 29997, false},
+      {"name", 4167491, false},
+      {"person_info", 2963664, false},
+      {"role_type", 12, true},
+      {"title", 2528312, false},
+  };
+  return kTables;
+}
+
+uint64_t ScaledRows(const JobTableSpec& spec, double scale) {
+  if (spec.is_dimension) return spec.base_rows;
+  const double rows = static_cast<double>(spec.base_rows) * scale;
+  return rows < 2.0 ? 2 : static_cast<uint64_t>(rows);
+}
+
+rel::TableDef MakeJobTableDef(const std::string& name) {
+  TableDef def;
+  def.name = name;
+  def.pk_col = 0;
+  auto idx = [&def](const char* col_name, int col) {
+    def.indexes.push_back(rel::IndexDef{col_name, col});
+  };
+
+  if (name == "aka_name") {
+    def.schema = Schema({IntCol("id"), IntCol("person_id"),
+                         CharCol("name", 24)});
+    idx("person_id", 1);
+  } else if (name == "aka_title") {
+    def.schema = Schema({IntCol("id"), IntCol("movie_id"),
+                         CharCol("title", 28)});
+    idx("movie_id", 1);
+  } else if (name == "cast_info") {
+    def.schema = Schema({IntCol("id"), IntCol("person_id"), IntCol("movie_id"),
+                         IntCol("person_role_id"), IntCol("role_id"),
+                         CharCol("note", 20)});
+    idx("person_id", 1);
+    idx("movie_id", 2);
+    idx("person_role_id", 3);
+    idx("role_id", 4);
+  } else if (name == "char_name") {
+    def.schema = Schema({IntCol("id"), CharCol("name", 24)});
+  } else if (name == "comp_cast_type") {
+    def.schema = Schema({IntCol("id"), CharCol("kind", 20)});
+  } else if (name == "company_name") {
+    def.schema = Schema({IntCol("id"), CharCol("name", 24),
+                         CharCol("country_code", 8)});
+  } else if (name == "company_type") {
+    def.schema = Schema({IntCol("id"), CharCol("kind", 24)});
+  } else if (name == "complete_cast") {
+    def.schema = Schema({IntCol("id"), IntCol("movie_id"),
+                         IntCol("subject_id"), IntCol("status_id")});
+    idx("movie_id", 1);
+    idx("subject_id", 2);
+    idx("status_id", 3);
+  } else if (name == "info_type") {
+    def.schema = Schema({IntCol("id"), CharCol("info", 20)});
+  } else if (name == "keyword") {
+    def.schema = Schema({IntCol("id"), CharCol("keyword", 24)});
+  } else if (name == "kind_type") {
+    def.schema = Schema({IntCol("id"), CharCol("kind", 16)});
+  } else if (name == "link_type") {
+    def.schema = Schema({IntCol("id"), CharCol("link", 16)});
+  } else if (name == "movie_companies") {
+    def.schema = Schema({IntCol("id"), IntCol("movie_id"),
+                         IntCol("company_id"), IntCol("company_type_id"),
+                         CharCol("note", 28)});
+    idx("movie_id", 1);
+    idx("company_id", 2);
+    idx("company_type_id", 3);
+  } else if (name == "movie_info") {
+    def.schema = Schema({IntCol("id"), IntCol("movie_id"),
+                         IntCol("info_type_id"), CharCol("info", 24)});
+    idx("movie_id", 1);
+    idx("info_type_id", 2);
+  } else if (name == "movie_info_idx") {
+    def.schema = Schema({IntCol("id"), IntCol("movie_id"),
+                         IntCol("info_type_id"), CharCol("info", 12)});
+    idx("movie_id", 1);
+    idx("info_type_id", 2);
+  } else if (name == "movie_keyword") {
+    def.schema = Schema({IntCol("id"), IntCol("movie_id"),
+                         IntCol("keyword_id")});
+    idx("movie_id", 1);
+    idx("keyword_id", 2);
+  } else if (name == "movie_link") {
+    def.schema = Schema({IntCol("id"), IntCol("movie_id"),
+                         IntCol("linked_movie_id"), IntCol("link_type_id")});
+    idx("movie_id", 1);
+    idx("linked_movie_id", 2);
+    idx("link_type_id", 3);
+  } else if (name == "name") {
+    def.schema = Schema({IntCol("id"), CharCol("name", 24),
+                         CharCol("gender", 4)});
+  } else if (name == "person_info") {
+    def.schema = Schema({IntCol("id"), IntCol("person_id"),
+                         IntCol("info_type_id"), CharCol("info", 24)});
+    idx("person_id", 1);
+    idx("info_type_id", 2);
+  } else if (name == "role_type") {
+    def.schema = Schema({IntCol("id"), CharCol("role", 20)});
+  } else if (name == "title") {
+    def.schema = Schema({IntCol("id"), CharCol("title", 28),
+                         IntCol("kind_id"), IntCol("production_year")});
+    idx("kind_id", 2);
+    idx("production_year", 3);
+  }
+  return def;
+}
+
+Status CreateJobTables(rel::Catalog* catalog) {
+  for (const auto& spec : JobTables()) {
+    rel::TableDef def = MakeJobTableDef(spec.name);
+    if (def.schema.num_columns() == 0) {
+      return Status::Internal(std::string("missing schema for ") + spec.name);
+    }
+    catalog->CreateTable(std::move(def));
+  }
+  return Status::OK();
+}
+
+}  // namespace hybridndp::job

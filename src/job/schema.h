@@ -1,0 +1,37 @@
+// The Join-Order Benchmark schema (Leis et al., VLDB 2015): the 21 IMDB
+// tables, adapted as in the paper (Sect. 5, Workloads): fixed-size CHAR
+// columns (padded/trimmed), 4-byte integers, 4-byte alignment. Secondary
+// indexes exist on every foreign-key column ("most tables have multiple
+// secondary indices").
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rel/table.h"
+
+namespace hybridndp::job {
+
+/// Base (scale = 1.0) row counts approximating the real IMDB snapshot used
+/// by JOB (~74.2 M rows total, paper Sect. 5).
+struct JobTableSpec {
+  const char* name;
+  uint64_t base_rows;
+  bool is_dimension;  ///< fixed-size, never scaled
+};
+
+/// All 21 tables with their base cardinalities.
+const std::vector<JobTableSpec>& JobTables();
+
+/// Build the TableDef (schema + pk + secondary indexes) for one JOB table.
+rel::TableDef MakeJobTableDef(const std::string& name);
+
+/// Create all 21 JOB tables in a catalog.
+Status CreateJobTables(rel::Catalog* catalog);
+
+/// Scaled row count of a table: dimensions stay fixed, fact tables scale.
+uint64_t ScaledRows(const JobTableSpec& spec, double scale);
+
+}  // namespace hybridndp::job

@@ -1,0 +1,52 @@
+// LRU block cache. Because file contents live in VirtualStorage memory for
+// the lifetime of the simulation, the cache tracks *residency* only: a hit
+// means the block is in host/device DRAM and the read charges no flash/PCIe
+// cost. Capacity is in bytes of cached block data.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+
+#include "lsm/storage.h"
+
+namespace hybridndp::lsm {
+
+/// LRU residency cache over (file_id, block_offset) keys.
+class BlockCache {
+ public:
+  explicit BlockCache(uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Returns true on hit and refreshes recency.
+  bool Lookup(FileId file, uint64_t offset);
+
+  /// Insert a block of `bytes`; evicts LRU entries beyond capacity.
+  void Insert(FileId file, uint64_t offset, uint64_t bytes);
+
+  /// Drop all blocks of a file (after compaction deletes it).
+  void EraseFile(FileId file);
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  using Key = std::pair<FileId, uint64_t>;
+  struct Entry {
+    Key key;
+    uint64_t bytes;
+  };
+
+  uint64_t capacity_bytes_;
+  uint64_t used_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::map<Key, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace hybridndp::lsm

@@ -1,0 +1,44 @@
+// Abstract forward iterator over (internal key, value) pairs, plus helpers.
+
+#pragma once
+
+#include <memory>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace hybridndp::lsm {
+
+/// Forward iterator over sorted key/value pairs. Keys at this layer are
+/// internal keys unless a component documents otherwise.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Position at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+
+  /// Precondition for key()/value(): Valid().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const { return Status::OK(); }
+};
+
+using IteratorPtr = std::unique_ptr<Iterator>;
+
+/// An always-invalid iterator (used for empty components).
+class EmptyIterator final : public Iterator {
+ public:
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(const Slice&) override {}
+  void Next() override {}
+  Slice key() const override { return Slice(); }
+  Slice value() const override { return Slice(); }
+};
+
+}  // namespace hybridndp::lsm

@@ -1,0 +1,75 @@
+// K-way merging iterator over sorted child iterators (internal-key order).
+
+#pragma once
+
+#include <vector>
+
+#include "lsm/internal_key.h"
+#include "lsm/iterator.h"
+#include "sim/cost.h"
+
+namespace hybridndp::lsm {
+
+/// Merges children in internal-key order. Children must be individually
+/// sorted; duplicate internal keys do not occur (sequence numbers are
+/// unique), so no tie-breaking is needed.
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(std::vector<IteratorPtr> children, sim::AccessContext* ctx)
+      : children_(std::move(children)), ctx_(ctx) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    current_->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    uint64_t compares = 0;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (smallest == nullptr) {
+        smallest = child.get();
+      } else {
+        ++compares;
+        if (CompareInternalKey(child->key(), smallest->key()) < 0) {
+          smallest = child.get();
+        }
+      }
+    }
+    if (ctx_ != nullptr && compares > 0) {
+      ctx_->Charge(sim::CostKind::kCompareInternalKeys, compares);
+    }
+    current_ = smallest;
+  }
+
+  std::vector<IteratorPtr> children_;
+  sim::AccessContext* ctx_;
+  Iterator* current_ = nullptr;
+};
+
+}  // namespace hybridndp::lsm

@@ -1,0 +1,130 @@
+// Sorted String Table: immutable, sorted file of internal-key/value pairs.
+//
+// Layout:
+//   [data block]*            BlockBuilder format, ~block_size bytes each
+//   [index block]            last-key-per-block -> BlockHandle
+//   [bloom filter]           over user keys
+//   footer: fixed64 index_off | fixed64 index_sz |
+//           fixed64 bloom_off | fixed64 bloom_sz | fixed32 magic
+//
+// The index block is the paper's "sparse index"; the smallest/largest keys
+// recorded per file act as fence pointers (min/max filters).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bloom.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/block.h"
+#include "lsm/block_cache.h"
+#include "lsm/internal_key.h"
+#include "lsm/iterator.h"
+#include "lsm/storage.h"
+#include "sim/cost.h"
+
+namespace hybridndp::lsm {
+
+/// Metadata of one SST as tracked by the version set (fence pointers live
+/// here: smallest/largest internal keys).
+struct FileMetaData {
+  FileId file_id = 0;
+  uint64_t file_size = 0;
+  uint64_t num_entries = 0;
+  std::string smallest;  ///< smallest internal key
+  std::string largest;   ///< largest internal key
+
+  Slice SmallestUserKey() const { return ExtractUserKey(Slice(smallest)); }
+  Slice LargestUserKey() const { return ExtractUserKey(Slice(largest)); }
+};
+
+/// Options shared by SST building and reading.
+struct SstOptions {
+  uint32_t block_size = 4096;  ///< target data block bytes (tbl_nbs)
+  int restart_interval = 16;
+  int bloom_bits_per_key = 10;
+};
+
+/// Serializes internal keys added in sorted order into the SST format and
+/// registers the file with a VirtualStorage.
+class SstBuilder {
+ public:
+  SstBuilder(VirtualStorage* storage, SstOptions options);
+
+  /// Keys must arrive in increasing internal-key order.
+  void Add(const Slice& ikey, const Slice& value);
+
+  /// Finalize and register the file. Returns its metadata.
+  Result<FileMetaData> Finish();
+
+  uint64_t num_entries() const { return meta_.num_entries; }
+  uint64_t EstimatedSize() const {
+    return file_.size() + data_block_.CurrentSizeEstimate();
+  }
+
+ private:
+  void FlushDataBlock();
+
+  VirtualStorage* storage_;
+  SstOptions options_;
+  std::string file_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder bloom_;
+  FileMetaData meta_;
+  std::string last_ikey_;
+  bool data_pending_ = false;
+};
+
+/// Read-side access to one SST. Readers are cheap to construct; the index
+/// block and bloom filter are decoded lazily on first use and their loads
+/// are charged to the providing context.
+class SstReader {
+ public:
+  SstReader(const VirtualStorage* storage, const FileMetaData& meta);
+
+  /// Point lookup of user_key at snapshot `seq`. On hit, fills value or sets
+  /// *deleted. `cache`, when non-null, absorbs block loads.
+  /// Returns kNotFound if the key is not in this file.
+  Status Get(sim::AccessContext* ctx, BlockCache* cache, const Slice& user_key,
+             SequenceNumber seq, std::string* value, bool* deleted,
+             bool use_bloom = true);
+
+  /// Two-level iterator over the whole file (internal keys).
+  IteratorPtr NewIterator(sim::AccessContext* ctx, BlockCache* cache);
+
+  const FileMetaData& meta() const { return meta_; }
+
+  /// True if `user_key` is outside [smallest, largest] (fence pointer check).
+  bool OutsideKeyRange(const Slice& user_key) const;
+
+ private:
+  class TwoLevelIter;
+
+  Status EnsureOpened(sim::AccessContext* ctx, BlockCache* cache);
+  /// Charge + fetch one data block.
+  Result<Slice> ReadBlock(sim::AccessContext* ctx, BlockCache* cache,
+                          uint64_t offset, uint64_t size, bool sequential);
+
+  const VirtualStorage* storage_;
+  FileMetaData meta_;
+  bool opened_ = false;
+  Slice index_contents_;
+  std::unique_ptr<BlockReader> index_block_;
+  std::string bloom_data_;
+  std::unique_ptr<BloomFilter> bloom_;
+};
+
+/// Decode an index-block value into (offset, size).
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  static BlockHandle Decode(const Slice& v);
+  std::string Encode() const;
+};
+
+}  // namespace hybridndp::lsm

@@ -1,0 +1,174 @@
+#include "ndp/device_executor.h"
+
+namespace hybridndp::ndp {
+
+using exec::OperatorPtr;
+using nkv::JoinAlgo;
+using nkv::NdpCommand;
+using nkv::NdpTableAccess;
+
+Status DeviceExecutor::CheckResources(const NdpCommand& cmd) const {
+  const uint64_t reserved = cmd.ReservedBufferBytes();
+  if (reserved > hw_->mem.device_ndp_budget_bytes) {
+    return Status::ResourceExhausted(
+        "NDP pipeline needs " + std::to_string(reserved >> 10) +
+        " KiB, budget is " +
+        std::to_string(hw_->mem.device_ndp_budget_bytes >> 10) + " KiB");
+  }
+  if (cmd.tables.empty()) {
+    return Status::InvalidArgument("NDP command without tables");
+  }
+  if (!cmd.scans_only && cmd.joins.size() + 1 != cmd.tables.size()) {
+    return Status::InvalidArgument("NDP pipeline join/table count mismatch");
+  }
+  if (cmd.scans_only && !cmd.joins.empty()) {
+    return Status::InvalidArgument("scans_only command must not carry joins");
+  }
+  return Status::OK();
+}
+
+exec::OperatorPtr DeviceExecutor::BuildScan(const NdpTableAccess& access,
+                                            const rel::TableAccessor* accessor,
+                                            const NdpCommand& cmd,
+                                            lsm::ReadOptions opts) const {
+  (void)cmd;
+  if (access.use_index_scan) {
+    return std::make_unique<exec::IndexScanOp>(
+        accessor, access.alias, access.index_no, opts, access.index_lo,
+        access.index_hi, access.predicate, access.projection);
+  }
+  return std::make_unique<exec::TableScanOp>(accessor, access.alias, opts,
+                                             access.predicate,
+                                             access.projection);
+}
+
+Result<DeviceRunResult> DeviceExecutor::Execute(const NdpCommand& cmd) const {
+  HNDP_RETURN_IF_ERROR(CheckResources(cmd));
+
+  DeviceRunResult result;
+  result.reserved_buffer_bytes = cmd.ReservedBufferBytes();
+  // Cache-format switch (paper Sect. 4.2): with > 2 tables the pipeline
+  // stores pointers instead of full records in the intermediate caches.
+  result.pointer_cache = cmd.force_cache_format == 0
+                             ? cmd.tables.size() > 2
+                             : cmd.force_cache_format == 2;
+
+  sim::AccessContext ctx(hw_, sim::Actor::kDevice, sim::IoPath::kInternal);
+  if (result.pointer_cache) ctx.SetCopyFactor(0.15);
+
+  // The device-side block buffer: index/data blocks staged in temporary
+  // storage (sized by the selection buffers).
+  lsm::BlockCache device_cache(cmd.buffers.selection_buffer_bytes *
+                               std::max<size_t>(1, cmd.tables.size()));
+
+  lsm::ReadOptions opts;
+  opts.ctx = &ctx;
+  opts.cache = &device_cache;
+  opts.snapshot = cmd.snapshot;
+  // By default the NDP engine does not probe bloom filters (paper
+  // Sect. 2.2: they were already used on the host side); the device_bloom
+  // extension enables in-situ probing.
+  opts.use_bloom = cmd.device_bloom;
+
+  // Device-side accessors over the shipped snapshots.
+  std::vector<std::unique_ptr<nkv::DeviceTableAccessor>> accessors;
+  accessors.reserve(cmd.tables.size());
+  for (const auto& t : cmd.tables) {
+    accessors.push_back(
+        std::make_unique<nkv::DeviceTableAccessor>(storage_, &t));
+  }
+
+  // Drain one operator into batches of shared-slot granularity.
+  auto drain = [&](exec::Operator* op, size_t stream) -> Status {
+    HNDP_RETURN_IF_ERROR(op->Open());
+    std::vector<std::string> rows;
+    std::string row;
+    uint64_t batch_rows = 0, batch_bytes = 0;
+    SimNanos mark = ctx.now();
+    while (op->Next(&row)) {
+      // Core 1 copies the root result into a shared-buffer slot (Fig. 8).
+      ctx.ChargeCopy(row.size());
+      batch_bytes += row.size();
+      ++batch_rows;
+      rows.push_back(std::move(row));
+      if (batch_bytes >= cmd.buffers.shared_slot_bytes) {
+        result.batches.push_back(
+            DeviceBatch{stream, batch_rows, batch_bytes, ctx.now() - mark});
+        mark = ctx.now();
+        batch_rows = 0;
+        batch_bytes = 0;
+      }
+    }
+    if (batch_rows > 0 || result.batches.empty() ||
+        result.batches.back().stream != stream) {
+      result.batches.push_back(
+          DeviceBatch{stream, batch_rows, batch_bytes, ctx.now() - mark});
+    }
+    result.stream_schemas.push_back(op->output_schema());
+    result.stream_rows.push_back(std::move(rows));
+    op->Close();
+    return Status::OK();
+  };
+
+  if (cmd.scans_only) {
+    // Split H0: every leaf is an independent NDP selection; the single NDP
+    // core processes them sequentially in join order.
+    for (size_t i = 0; i < cmd.tables.size(); ++i) {
+      auto scan = BuildScan(cmd.tables[i], accessors[i].get(), cmd, opts);
+      HNDP_RETURN_IF_ERROR(drain(scan.get(), i));
+    }
+  } else {
+    // Left-deep pipeline: scan(t0) join t1 join t2 ... [agg] [project].
+    OperatorPtr acc = BuildScan(cmd.tables[0], accessors[0].get(), cmd, opts);
+    for (size_t j = 0; j < cmd.joins.size(); ++j) {
+      const auto& stage = cmd.joins[j];
+      const auto& inner = cmd.tables[j + 1];
+      switch (stage.algo) {
+        case JoinAlgo::kBNLJI:
+          acc = std::make_unique<exec::BlockNLIndexJoinOp>(
+              std::move(acc), stage.outer_key_col, accessors[j + 1].get(),
+              inner.alias, stage.inner_join_col, opts, inner.predicate,
+              inner.projection, cmd.buffers.join_buffer_bytes, &ctx);
+          if (stage.residual != nullptr) {
+            acc = std::make_unique<exec::FilterOp>(std::move(acc),
+                                                   stage.residual, &ctx);
+          }
+          break;
+        case JoinAlgo::kBNLJ:
+          acc = std::make_unique<exec::BlockNLJoinOp>(
+              std::move(acc),
+              BuildScan(inner, accessors[j + 1].get(), cmd, opts), stage.keys,
+              stage.residual, cmd.buffers.join_buffer_bytes, &ctx);
+          break;
+        case JoinAlgo::kNLJ:
+          acc = std::make_unique<exec::NestedLoopJoinOp>(
+              std::move(acc),
+              BuildScan(inner, accessors[j + 1].get(), cmd, opts), stage.keys,
+              stage.residual, &ctx);
+          break;
+        case JoinAlgo::kGHJ:
+          acc = std::make_unique<exec::GraceHashJoinOp>(
+              std::move(acc),
+              BuildScan(inner, accessors[j + 1].get(), cmd, opts), stage.keys,
+              stage.residual, /*num_partitions=*/8, &ctx);
+          break;
+      }
+    }
+    if (cmd.has_agg) {
+      acc = std::make_unique<exec::GroupByAggOp>(std::move(acc),
+                                                 cmd.group_cols, cmd.aggs,
+                                                 &ctx);
+    }
+    if (!cmd.output_projection.empty()) {
+      acc = std::make_unique<exec::ProjectOp>(std::move(acc),
+                                              cmd.output_projection, &ctx);
+    }
+    HNDP_RETURN_IF_ERROR(drain(acc.get(), 0));
+  }
+
+  result.counters = ctx.counters();
+  result.total_work_ns = ctx.now();
+  return result;
+}
+
+}  // namespace hybridndp::ndp

@@ -1,0 +1,80 @@
+// On-device NDP execution (paper Sect. 4.2, Fig. 8): core 1 runs the
+// offloaded PQEP as a volcano pipeline over the shipped snapshots, staging
+// results through the multi-slot shared buffer. The executor runs the
+// pipeline for real (correct tuples) while charging every action to a
+// device AccessContext; batch boundaries at shared-buffer-slot granularity
+// carry device-clock timestamps that the cooperative layer merges with the
+// host timeline.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "lsm/block_cache.h"
+#include "nkv/ndp_command.h"
+#include "sim/cost.h"
+
+namespace hybridndp::ndp {
+
+/// One shared-buffer slot's worth of output.
+struct DeviceBatch {
+  size_t stream = 0;      ///< output stream (scans_only: one per table)
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  SimNanos work_ns = 0;  ///< device work to produce this batch
+};
+
+/// Result of one NDP invocation.
+struct DeviceRunResult {
+  /// Schema per output stream (one stream for pipelined plans; one per
+  /// table for scans_only commands).
+  std::vector<rel::Schema> stream_schemas;
+  std::vector<std::vector<std::string>> stream_rows;
+  std::vector<DeviceBatch> batches;  ///< in device production order
+  sim::CostCounters counters;        ///< Table 4 breakdown
+  SimNanos total_work_ns = 0;
+  uint64_t reserved_buffer_bytes = 0;
+  bool pointer_cache = false;        ///< cache-format choice (Sect. 4.2)
+
+  const rel::Schema& schema() const { return stream_schemas.at(0); }
+  const std::vector<std::string>& rows() const { return stream_rows.at(0); }
+  uint64_t total_rows() const {
+    uint64_t n = 0;
+    for (const auto& s : stream_rows) n += s.size();
+    return n;
+  }
+  uint64_t total_bytes() const {
+    uint64_t n = 0;
+    for (const auto& b : batches) n += b.bytes;
+    return n;
+  }
+};
+
+/// Executes NDP commands against the flash array (core 1 of the paper's
+/// dual-core COSMOS+ model; core 0's relay work is modelled by the
+/// cooperative layer's per-fetch latency).
+class DeviceExecutor {
+ public:
+  DeviceExecutor(const lsm::VirtualStorage* storage, const sim::HwParams* hw)
+      : storage_(storage), hw_(hw) {}
+
+  /// Validate resources, build the pipeline, run it to completion.
+  Result<DeviceRunResult> Execute(const nkv::NdpCommand& cmd) const;
+
+  /// Memory check only (used by the planner to cap split depth).
+  Status CheckResources(const nkv::NdpCommand& cmd) const;
+
+ private:
+  /// Build the scan (leaf) operator for one table access.
+  exec::OperatorPtr BuildScan(const nkv::NdpTableAccess& access,
+                              const rel::TableAccessor* accessor,
+                              const nkv::NdpCommand& cmd,
+                              lsm::ReadOptions opts) const;
+
+  const lsm::VirtualStorage* storage_;
+  const sim::HwParams* hw_;
+};
+
+}  // namespace hybridndp::ndp

@@ -1,0 +1,147 @@
+#include "nkv/ndp_command.h"
+
+#include <algorithm>
+
+namespace hybridndp::nkv {
+
+const char* JoinAlgoName(JoinAlgo algo) {
+  switch (algo) {
+    case JoinAlgo::kNLJ:
+      return "NLJ";
+    case JoinAlgo::kBNLJ:
+      return "BNLJ";
+    case JoinAlgo::kBNLJI:
+      return "BNLJI";
+    case JoinAlgo::kGHJ:
+      return "GHJ";
+  }
+  return "?";
+}
+
+uint64_t NdpCommand::ReservedBufferBytes() const {
+  uint64_t total = 0;
+  for (const auto& t : tables) {
+    total += buffers.selection_buffer_bytes;  // primary selection
+    if (t.use_index_scan) {
+      total += buffers.selection_buffer_bytes;  // secondary selection stage
+    }
+  }
+  for (const auto& j : joins) {
+    (void)j;
+    total += buffers.join_buffer_bytes;
+  }
+  total += static_cast<uint64_t>(buffers.shared_slots) *
+           buffers.shared_slot_bytes;
+  return total;
+}
+
+DeviceTableAccessor::DeviceTableAccessor(const lsm::VirtualStorage* storage,
+                                         const NdpTableAccess* access)
+    : storage_(storage), access_(access) {}
+
+lsm::SstReader* DeviceTableAccessor::GetReader(
+    const lsm::FileMetaData& meta) const {
+  auto it = readers_.find(meta.file_id);
+  if (it != readers_.end()) return it->second.get();
+  auto reader = std::make_unique<lsm::SstReader>(storage_, meta);
+  lsm::SstReader* raw = reader.get();
+  readers_[meta.file_id] = std::move(reader);
+  return raw;
+}
+
+Status DeviceTableAccessor::SnapshotGet(const lsm::CfSnapshot& snap,
+                                        const lsm::ReadOptions& opts,
+                                        const Slice& key,
+                                        std::string* value) const {
+  const lsm::SequenceNumber seq = opts.snapshot;
+  bool deleted = false;
+  if (snap.mem != nullptr &&
+      snap.mem->Get(key, seq, value, &deleted, opts.ctx)) {
+    return deleted ? Status::NotFound() : Status::OK();
+  }
+  for (auto it = snap.immutables.rbegin(); it != snap.immutables.rend(); ++it) {
+    if ((*it)->Get(key, seq, value, &deleted, opts.ctx)) {
+      return deleted ? Status::NotFound() : Status::OK();
+    }
+  }
+  if (snap.version.levels.empty()) return Status::NotFound();
+  const auto& l0 = snap.version.levels[0];
+  for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+    Status s = GetReader(*it)->Get(opts.ctx, opts.cache, key, seq, value,
+                                   &deleted, opts.use_bloom);
+    if (s.ok()) return deleted ? Status::NotFound() : Status::OK();
+    if (!s.IsNotFound()) return s;
+  }
+  for (size_t level = 1; level < snap.version.levels.size(); ++level) {
+    const auto& files = snap.version.levels[level];
+    auto pos = std::lower_bound(files.begin(), files.end(), key,
+                                [](const lsm::FileMetaData& f, const Slice& k) {
+                                  return f.LargestUserKey().compare(k) < 0;
+                                });
+    if (pos == files.end()) continue;
+    if (pos->SmallestUserKey().compare(key) > 0) continue;
+    Status s = GetReader(*pos)->Get(opts.ctx, opts.cache, key, seq, value,
+                                    &deleted, opts.use_bloom);
+    if (s.ok()) return deleted ? Status::NotFound() : Status::OK();
+    if (!s.IsNotFound()) return s;
+  }
+  return Status::NotFound();
+}
+
+Status DeviceTableAccessor::GetByPk(const lsm::ReadOptions& opts, int32_t pk,
+                                    std::string* row) const {
+  std::string pk_key;
+  PutOrderedInt32(&pk_key, pk);
+  lsm::ReadOptions snap_opts = opts;
+  if (snap_opts.snapshot == lsm::kMaxSequenceNumber) {
+    snap_opts.snapshot = access_->primary.sequence;
+  }
+  return SnapshotGet(access_->primary, snap_opts, Slice(pk_key), row);
+}
+
+lsm::IteratorPtr DeviceTableAccessor::NewScanIterator(
+    const lsm::ReadOptions& opts) const {
+  const lsm::SequenceNumber seq = opts.snapshot == lsm::kMaxSequenceNumber
+                                      ? access_->primary.sequence
+                                      : opts.snapshot;
+  auto internal = lsm::NewSnapshotInternalIterator(
+      access_->primary, opts.ctx, opts.cache,
+      [this](const lsm::FileMetaData& meta) { return GetReader(meta); });
+  return lsm::NewUserKeyIterator(std::move(internal), seq, opts.ctx);
+}
+
+lsm::IteratorPtr DeviceTableAccessor::NewIndexIterator(
+    const lsm::ReadOptions& opts, size_t index_no) const {
+  if (index_no >= access_->indexes.size()) {
+    return std::make_unique<lsm::EmptyIterator>();
+  }
+  const auto& snap = access_->indexes[index_no];
+  const lsm::SequenceNumber seq =
+      opts.snapshot == lsm::kMaxSequenceNumber ? snap.sequence : opts.snapshot;
+  auto internal = lsm::NewSnapshotInternalIterator(
+      snap, opts.ctx, opts.cache,
+      [this](const lsm::FileMetaData& meta) { return GetReader(meta); });
+  return lsm::NewUserKeyIterator(std::move(internal), seq, opts.ctx);
+}
+
+uint64_t DeviceTableAccessor::row_count() const {
+  uint64_t total = access_->primary.version.TotalEntries();
+  if (access_->primary.mem != nullptr) {
+    total += access_->primary.mem->num_entries();
+  }
+  return total;
+}
+
+NdpTableAccess SnapshotTable(const rel::Table& table, std::string alias) {
+  NdpTableAccess access;
+  access.table_name = table.name();
+  access.alias = std::move(alias);
+  access.def = table.def();
+  access.primary = table.db()->GetCfSnapshot(table.primary_cf());
+  for (size_t i = 0; i < table.def().indexes.size(); ++i) {
+    access.indexes.push_back(table.db()->GetCfSnapshot(table.index_cf(i)));
+  }
+  return access;
+}
+
+}  // namespace hybridndp::nkv

@@ -1,0 +1,141 @@
+// The NDP invocation (paper Sect. 2.1, 4.1, Fig. 7.A): everything the smart
+// storage device needs to execute a partial QEP autonomously and
+// intervention-free — the shared state (unflushed MemTables), the physical
+// placement of every involved SST (address-mapping info), index metadata,
+// the PQEP descriptor, predicates, and the buffer configuration.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+#include "lsm/db.h"
+#include "rel/table.h"
+
+namespace hybridndp::nkv {
+
+/// Which on-device join algorithm a pipeline stage uses (paper Sect. 2.1).
+enum class JoinAlgo : uint8_t {
+  kNLJ = 0,
+  kBNLJ = 1,   ///< block nested loop (hash table in the join buffer)
+  kBNLJI = 2,  ///< indexed block nested loop (primary or secondary index)
+  kGHJ = 3,    ///< grace hash join (partitions persisted on-device)
+};
+
+const char* JoinAlgoName(JoinAlgo algo);
+
+/// Access to one table inside the NDP PQEP: snapshots of the primary and
+/// secondary column families plus the early selection / projection pushed
+/// into the on-device scan.
+struct NdpTableAccess {
+  std::string table_name;
+  std::string alias;
+  rel::TableDef def;
+  lsm::CfSnapshot primary;                 ///< shared state + placements
+  std::vector<lsm::CfSnapshot> indexes;    ///< one per secondary index
+
+  /// Early selection on this table (aliased column names).
+  exec::Expr::Ptr predicate;
+  /// Early projection: columns (aliased) this table contributes upstream.
+  std::vector<std::string> projection;
+
+  /// Optional index-driven access instead of a full scan.
+  bool use_index_scan = false;
+  size_t index_no = 0;
+  int64_t index_lo = 0;
+  int64_t index_hi = 0;
+};
+
+/// One join stage of the NDP pipeline; joins the running intermediate result
+/// with tables[i+1].
+struct NdpJoinStage {
+  JoinAlgo algo = JoinAlgo::kBNLJ;
+  std::vector<exec::JoinKey> keys;  ///< empty for BNLJI (uses the columns below)
+  exec::Expr::Ptr residual;
+  /// BNLJI: outer stream key column and inner (unaliased) join column.
+  std::string outer_key_col;
+  std::string inner_join_col;
+};
+
+/// Buffer configuration of the on-device pipeline (paper Sect. 4.2 + 5).
+struct NdpBufferConfig {
+  uint64_t selection_buffer_bytes = 17ull << 20;  ///< per selection stage
+  uint64_t join_buffer_bytes = 7ull << 20;        ///< per join stage
+  uint64_t shared_slot_bytes = 256ull << 10;      ///< one result-buffer slot
+  int shared_slots = 4;                           ///< round-robin slots
+};
+
+/// A complete NDP command.
+struct NdpCommand {
+  lsm::SequenceNumber snapshot = lsm::kMaxSequenceNumber;
+  std::vector<NdpTableAccess> tables;  ///< in join order
+  std::vector<NdpJoinStage> joins;     ///< joins.size() <= tables.size()-1
+
+  /// When true the device executes each table as an independent NDP
+  /// selection (split H0: offload all leaves, keep every join on the host);
+  /// joins above must be empty.
+  bool scans_only = false;
+
+  /// Optional pipeline-terminal GROUP BY / aggregation (full-NDP plans).
+  bool has_agg = false;
+  std::vector<std::string> group_cols;
+  std::vector<exec::AggSpec> aggs;
+
+  /// Final projection of the device result (empty = full width).
+  std::vector<std::string> output_projection;
+
+  NdpBufferConfig buffers;
+
+  /// Intermediate cache format override (paper Sect. 4.2): 0 = automatic
+  /// (pointer format beyond 2 tables), 1 = force row cache, 2 = force
+  /// pointer cache. Used by the cache-format ablation.
+  int force_cache_format = 0;
+
+  /// Extension (paper Sect. 2.2, future work): let the NDP engine probe
+  /// bloom filters in-situ. The paper's engine skips them because the host
+  /// already probed them; with device-resident filters, point lookups of
+  /// absent keys (BNLJI misses) avoid their data-block reads.
+  bool device_bloom = false;
+
+  size_t num_pipeline_joins() const { return joins.size(); }
+  /// Device memory the configured pipeline reserves (checked against the
+  /// NDP budget before deployment).
+  uint64_t ReservedBufferBytes() const;
+};
+
+/// Device-side table accessor: reads the shipped CfSnapshots through
+/// device-owned SstReaders, charging the *internal* flash path. This is the
+/// device's own view of the LSM-trees — it never touches host reader state.
+class DeviceTableAccessor final : public rel::TableAccessor {
+ public:
+  DeviceTableAccessor(const lsm::VirtualStorage* storage,
+                      const NdpTableAccess* access);
+
+  const rel::TableDef& def() const override { return access_->def; }
+  Status GetByPk(const lsm::ReadOptions& opts, int32_t pk,
+                 std::string* row) const override;
+  lsm::IteratorPtr NewScanIterator(
+      const lsm::ReadOptions& opts) const override;
+  lsm::IteratorPtr NewIndexIterator(const lsm::ReadOptions& opts,
+                                    size_t index_no) const override;
+  uint64_t row_count() const override;
+
+ private:
+  lsm::SstReader* GetReader(const lsm::FileMetaData& meta) const;
+  /// Get through one snapshot: mem -> immutables -> C1 -> C2..Ck.
+  Status SnapshotGet(const lsm::CfSnapshot& snap, const lsm::ReadOptions& opts,
+                     const Slice& key, std::string* value) const;
+
+  const lsm::VirtualStorage* storage_;
+  const NdpTableAccess* access_;
+  mutable std::map<lsm::FileId, std::unique_ptr<lsm::SstReader>> readers_;
+};
+
+/// Build an NdpTableAccess snapshot bundle from a live table.
+NdpTableAccess SnapshotTable(const rel::Table& table, std::string alias);
+
+}  // namespace hybridndp::nkv

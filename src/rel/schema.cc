@@ -1,0 +1,35 @@
+#include "rel/schema.h"
+
+namespace hybridndp::rel {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  uint32_t offset = 0;
+  for (const auto& c : columns_) {
+    offsets_.push_back(offset);
+    offset += c.size;
+  }
+  row_size_ = offset;
+}
+
+int Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Project(const std::vector<int>& cols) const {
+  std::vector<Column> out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(columns_[c]);
+  return Schema(std::move(out));
+}
+
+}  // namespace hybridndp::rel

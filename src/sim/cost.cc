@@ -1,0 +1,151 @@
+#include "sim/cost.h"
+
+#include <sstream>
+
+namespace hybridndp::sim {
+
+const char* CostKindName(CostKind kind) {
+  switch (kind) {
+    case CostKind::kMemcmp:
+      return "memcmp";
+    case CostKind::kCompareInternalKeys:
+      return "compare internal keys";
+    case CostKind::kSeekIndexBlock:
+      return "seek index block";
+    case CostKind::kSelectionProcessing:
+      return "selection processing";
+    case CostKind::kSeekDataBlock:
+      return "seek data block";
+    case CostKind::kFlashLoad:
+      return "flash load";
+    case CostKind::kOther:
+      return "other";
+    case CostKind::kHashBuild:
+      return "hash build";
+    case CostKind::kHashProbe:
+      return "hash probe";
+    case CostKind::kCopy:
+      return "copy";
+    case CostKind::kRecordEval:
+      return "record eval";
+    case CostKind::kAggUpdate:
+      return "agg update";
+    case CostKind::kTransfer:
+      return "transfer";
+    case CostKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+std::string CostCounters::BreakdownString() const {
+  const SimNanos total = TotalTime();
+  std::ostringstream os;
+  for (int i = 0; i < kNumCostKinds; ++i) {
+    if (time_ns[i] <= 0) continue;
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << "  " << CostKindName(static_cast<CostKind>(i)) << ": "
+       << (total > 0 ? time_ns[i] / total * 100.0 : 0.0) << "%  ("
+       << units[i] << " units, " << time_ns[i] / kNanosPerMilli << " ms)\n";
+  }
+  return os.str();
+}
+
+void AccessContext::Charge(CostKind kind, uint64_t units_count) {
+  double cycles = 0;
+  switch (kind) {
+    case CostKind::kMemcmp:
+      cycles = cycles_.memcmp_per_byte * units_count;
+      break;
+    case CostKind::kCompareInternalKeys:
+      cycles = cycles_.compare_internal_key * units_count;
+      break;
+    case CostKind::kSeekIndexBlock:
+      cycles = cycles_.seek_index_block * units_count;
+      break;
+    case CostKind::kSelectionProcessing:
+      cycles = cycles_.selection_per_record * units_count;
+      break;
+    case CostKind::kSeekDataBlock:
+      cycles = cycles_.seek_data_block * units_count;
+      break;
+    case CostKind::kHashBuild:
+      cycles = cycles_.hash_build * units_count;
+      break;
+    case CostKind::kHashProbe:
+      cycles = cycles_.hash_probe * units_count;
+      break;
+    case CostKind::kRecordEval:
+      cycles = cycles_.record_eval * units_count;
+      break;
+    case CostKind::kAggUpdate:
+      cycles = cycles_.agg_update * units_count;
+      break;
+    case CostKind::kOther:
+      cycles = static_cast<double>(units_count);  // raw cycles
+      break;
+    case CostKind::kCopy: {
+      const SimNanos t =
+          cpu().TimeForCopy(units_count) * copy_factor_;
+      counters_.Add(kind, units_count, t);
+      clock_.Advance(t);
+      return;
+    }
+    case CostKind::kFlashLoad:
+    case CostKind::kTransfer:
+    case CostKind::kNumKinds:
+      // Charged via the dedicated Charge{FlashRead,Transfer} entry points.
+      return;
+  }
+  const SimNanos t = cpu().TimeForCycles(cycles);
+  counters_.Add(kind, units_count, t);
+  clock_.Advance(t);
+}
+
+SimNanos AccessContext::PathOverhead(uint64_t bytes, bool random) const {
+  switch (path_) {
+    case IoPath::kInternal:
+      return 0;
+    case IoPath::kNative:
+      return hw_->pcie.TransferTime(bytes);
+    case IoPath::kBlk: {
+      SimNanos t = hw_->pcie.TransferTime(bytes) * hw_->blk_stack_overhead;
+      t += hw_->blk_syscall_ns * (random ? 1.0 : 1.0 + bytes / (128.0 * 1024));
+      return t;
+    }
+  }
+  return 0;
+}
+
+void AccessContext::ChargeFlashRead(uint64_t bytes) {
+  // host_flash_clock < ndp_flash_clock models the slower effective flash
+  // access rate seen from the host (interface stack in front of the array).
+  const double fcf =
+      path_ == IoPath::kInternal ? hw_->ndp_flash_clock : hw_->host_flash_clock;
+  SimNanos t = hw_->flash.InternalReadTime(bytes) / fcf;
+  t += PathOverhead(bytes, /*random=*/false);
+  counters_.Add(CostKind::kFlashLoad, bytes, t);
+  clock_.Advance(t);
+}
+
+void AccessContext::ChargeFlashRandomRead(uint64_t bytes) {
+  const double fcf =
+      path_ == IoPath::kInternal ? hw_->ndp_flash_clock : hw_->host_flash_clock;
+  SimNanos t = hw_->flash.RandomPageReadTime() / fcf;
+  t += PathOverhead(bytes, /*random=*/true);
+  counters_.Add(CostKind::kFlashLoad, bytes, t);
+  clock_.Advance(t);
+}
+
+void AccessContext::ChargeTransfer(uint64_t bytes) {
+  const SimNanos t = hw_->pcie.TransferTime(bytes);
+  counters_.Add(CostKind::kTransfer, bytes, t);
+  clock_.Advance(t);
+}
+
+void AccessContext::ChargeCopy(uint64_t bytes) {
+  Charge(CostKind::kCopy, bytes);
+}
+
+}  // namespace hybridndp::sim

@@ -1,0 +1,99 @@
+#include "sim/hw_model.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace hybridndp::sim {
+
+double PcieModel::BytesPerSec() const {
+  // Per-lane raw gigatransfers/sec and encoding efficiency per generation.
+  double gt_per_lane;
+  double encoding;
+  switch (version) {
+    case 1:
+      gt_per_lane = 2.5;
+      encoding = 0.8;  // 8b/10b
+      break;
+    case 2:
+      gt_per_lane = 5.0;
+      encoding = 0.8;
+      break;
+    case 3:
+      gt_per_lane = 8.0;
+      encoding = 128.0 / 130.0;
+      break;
+    case 4:
+      gt_per_lane = 16.0;
+      encoding = 128.0 / 130.0;
+      break;
+    default:
+      gt_per_lane = 32.0;
+      encoding = 128.0 / 130.0;
+      break;
+  }
+  // GT/s * encoding / 8 bits = GB/s per lane; apply protocol efficiency.
+  const double protocol_efficiency = 0.85;
+  return gt_per_lane * encoding / 8.0 * 1e9 * lanes * protocol_efficiency;
+}
+
+SimNanos FlashModel::InternalReadTime(uint64_t bytes) const {
+  // Sequential streaming overlaps reads across channels; fractional pages
+  // keep repeated sub-page reads from over-charging (block reads within one
+  // page are pipelined by the controller).
+  const double pages =
+      static_cast<double>(bytes) / static_cast<double>(page_bytes);
+  const double per_page = read_page_latency_ns + page_handling_ns;
+  return pages * per_page / channels;
+}
+
+double FlashModel::InternalBytesPerSec() const {
+  const double per_page = read_page_latency_ns + page_handling_ns;
+  return static_cast<double>(page_bytes) * channels / per_page * kNanosPerSec;
+}
+
+HwParams HwParams::PaperDefaults() {
+  HwParams hw;
+  // Host: 4-core 3.4 GHz i5, CoreMark 92343 it/s.
+  hw.host_cpu.clock_hz = 3.4e9;
+  hw.host_cpu.cores = 4;
+  hw.host_cpu.coremark_score = 92343;
+  hw.host_cpu.effective_hz = 20.8e9;  // 667 MHz * (92343 / 2964)
+  hw.host_cpu.memcpy_bytes_per_sec = 8e9;
+  hw.host_cpu.engine_cycle_factor = 2.0;  // interpreted SQL engine
+
+  // Device NDP core: single ARM A9 @ 667 MHz, CoreMark 2964 it/s.
+  hw.device_cpu.clock_hz = 667e6;
+  hw.device_cpu.cores = 1;
+  hw.device_cpu.coremark_score = 2964;
+  hw.device_cpu.effective_hz = 667e6;
+  hw.device_cpu.memcpy_bytes_per_sec = 0.8e9;
+
+  return hw;
+}
+
+std::string HwParams::ToString() const {
+  std::ostringstream os;
+  os << "HwParams{\n"
+     << "  FLASH: page=" << flash.page_bytes << "B channels=" << flash.channels
+     << " tR=" << flash.read_page_latency_ns / 1000.0 << "us"
+     << " internal_bw=" << flash.InternalBytesPerSec() / 1e9 << "GB/s"
+     << " ndp_fcf=" << ndp_flash_clock << " host_fcf=" << host_flash_clock
+     << " fsw=" << flash_weight << "\n"
+     << "  CPU: host=" << host_cpu.clock_hz / 1e9 << "GHz x" << host_cpu.cores
+     << " (coremark " << host_cpu.coremark_score << ")"
+     << " device=" << device_cpu.clock_hz / 1e6 << "MHz x" << device_cpu.cores
+     << " (coremark " << device_cpu.coremark_score << ")"
+     << " ratio=" << ComputeRatio() << "x\n"
+     << "  MEM: host=" << (mem.host_bytes >> 20) << "MB device="
+     << (mem.device_total_bytes >> 20) << "MB ndp_budget="
+     << (mem.device_ndp_budget_bytes >> 20) << "MB sel_buf="
+     << (mem.device_selection_bytes >> 10) << "KB join_buf="
+     << (mem.device_join_bytes >> 10) << "KB\n"
+     << "  PCIE: gen" << pcie.version << " x" << pcie.lanes << " = "
+     << pcie.BytesPerSec() / 1e9 << "GB/s cmd_lat="
+     << pcie.command_latency_ns / 1000.0 << "us\n"
+     << "}";
+  return os.str();
+}
+
+}  // namespace hybridndp::sim

@@ -1,0 +1,135 @@
+// The generalized hardware model of hybridNDP (paper Sect. 3.1, Table 2).
+//
+// It abstracts a smart-storage setting into four component models — FLASH,
+// CPU, MEMORY, INTERCONNECT — whose parameters are either profiled
+// (sim/profiler.h) or configured. Default values reproduce the paper's
+// evaluation platform: a 4-core 3.4 GHz Intel i5 host with 4 GB RAM and a
+// COSMOS+ OpenSSD (Zynq 7045; 2x ARM A9 @ 667 MHz; 1 GB DRAM; MLC flash in
+// SLC mode) attached over PCIe 2.0 x8. The host:device compute throughput
+// ratio follows the paper's CoreMark measurements (92343 vs 2964 it/s).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_clock.h"
+
+namespace hybridndp::sim {
+
+/// Interconnect model: PCIe version + lane count -> bandwidth and latency
+/// (the paper's cf_pcie cost function inputs hw_IPV, hw_IPL).
+struct PcieModel {
+  int version = 2;  ///< hw_IPV
+  int lanes = 8;    ///< hw_IPL
+  /// Per-command round-trip software+hardware latency (native NVMe path).
+  SimNanos command_latency_ns = 8'000;
+
+  /// Effective unidirectional bandwidth in bytes/second, accounting for the
+  /// line encoding of the generation (8b/10b for Gen1/2, 128b/130b after).
+  double BytesPerSec() const;
+
+  /// Time to move `bytes` across the link in one command.
+  SimNanos TransferTime(uint64_t bytes) const {
+    return command_latency_ns + static_cast<SimNanos>(bytes) / BytesPerSec() * kNanosPerSec;
+  }
+};
+
+/// Flash model: geometry and timing of the NAND array. The device-internal
+/// access path (NDP engine) sees channel-parallel reads with no interface
+/// stack; the host path pays the interconnect on top.
+struct FlashModel {
+  uint64_t page_bytes = 16 * 1024;
+  int channels = 8;                      ///< Parallel channels for streaming.
+  SimNanos read_page_latency_ns = 25'000;  ///< SLC-mode page read (tR).
+  /// Per-page controller/FTL handling overhead.
+  SimNanos page_handling_ns = 2'000;
+
+  /// Device-internal time to read `bytes` sequentially (channel-parallel).
+  SimNanos InternalReadTime(uint64_t bytes) const;
+  /// Device-internal time for one random page read (single channel).
+  SimNanos RandomPageReadTime() const {
+    return read_page_latency_ns + page_handling_ns;
+  }
+  /// Sustained internal bandwidth in bytes/sec.
+  double InternalBytesPerSec() const;
+};
+
+/// CPU model of one actor (host or device NDP core). Timing is throughput
+/// based: `effective_hz` is the rate at which the actor retires abstract
+/// work cycles; the host:device ratio is calibrated against CoreMark
+/// (hw_CCF x IPC). Memcpy has its own rate (hw_CME) because bulk copies
+/// behave differently from branchy compare work on both platforms.
+struct CpuModel {
+  double clock_hz = 3.4e9;        ///< hw_CCF
+  int cores = 4;                  ///< hw_CCN
+  double coremark_score = 92343;  ///< measured it/s (paper Sect. 5)
+  /// Abstract work cycles retired per second by one core.
+  double effective_hz = 20.8e9;
+  /// Bulk copy throughput (hw_CME), bytes/sec.
+  double memcpy_bytes_per_sec = 8e9;
+  /// Per-operation cycle multiplier of the query engine running on this
+  /// actor. The host executes the MySQL/MyRocks interpreted row pipeline
+  /// (handler API, format conversions — thousands of cycles per row); the
+  /// on-device NDP engine is lean compiled code (factor 1). Calibrated so
+  /// that full-NDP execution lands near the NATIVE stack on scan-dominated
+  /// queries (paper Fig. 11B / Fig. 14).
+  double engine_cycle_factor = 1.0;
+
+  SimNanos TimeForCycles(double cycles) const {
+    return cycles * engine_cycle_factor / effective_hz * kNanosPerSec;
+  }
+  SimNanos TimeForCopy(uint64_t bytes) const {
+    return static_cast<SimNanos>(bytes) / memcpy_bytes_per_sec * kNanosPerSec;
+  }
+};
+
+/// Memory sizes and weighting factors used by the split-point computation
+/// (paper eqs. 10-11).
+struct MemoryModel {
+  uint64_t host_bytes = 4ull << 30;        ///< hw_MSH
+  uint64_t device_total_bytes = 1ull << 30;
+  /// Per-operator on-device reservations (paper Sect. 5: 17 MB per selection,
+  /// 7 MB per join at full scale; scaled with the dataset).
+  uint64_t device_selection_bytes = 17ull << 20;  ///< hw_MSS
+  uint64_t device_join_bytes = 7ull << 20;        ///< hw_MSJ
+  /// Usable NDP buffer budget (paper: ~400 MB of the 1 GB DRAM).
+  uint64_t device_ndp_budget_bytes = 400ull << 20;
+  double mem_weight = 1.0;  ///< ndp_hw_MSW
+};
+
+/// Full hardware model (paper Table 2).
+struct HwParams {
+  // FLASH
+  double ndp_flash_clock = 1.0;   ///< ndp_hw_FCF: relative flash access rate, device path
+  double host_flash_clock = 0.55; ///< host_hw_FCF: relative flash access rate, host path
+  double flash_weight = 1.0;      ///< hw_FSW: flash weighting for hybrid-idx
+  FlashModel flash;
+
+  // CPU
+  CpuModel host_cpu;
+  CpuModel device_cpu;
+
+  // MEMORY
+  MemoryModel mem;
+
+  // INTERCONNECT
+  PcieModel pcie;
+
+  /// Extra cost factor for the BLK (file-system) stack relative to NATIVE:
+  /// page cache copies, syscalls, generic block layer (paper Fig. 10).
+  double blk_stack_overhead = 1.12;
+  SimNanos blk_syscall_ns = 2'000;
+
+  /// Host : device compute throughput ratio (CoreMark based).
+  double ComputeRatio() const {
+    return host_cpu.effective_hz / device_cpu.effective_hz;
+  }
+
+  /// Default parameters matching the paper's platform.
+  static HwParams PaperDefaults();
+
+  std::string ToString() const;
+};
+
+}  // namespace hybridndp::sim

@@ -1,0 +1,55 @@
+// Hardware profiling micro-benchmark (paper Sect. 3.1): determines the
+// parameter set of the hardware model before DBMS startup. CPU and memory
+// characteristics come from memcpy runs over various buffer sizes and a
+// floating-point kernel; flash performance from a random read/write mix;
+// interconnect speed from handshake transfers of different sizes. The
+// resulting values are placed in the DBMS parameter set (HwParams).
+
+#pragma once
+
+#include <string>
+
+#include "sim/cost.h"
+#include "sim/hw_model.h"
+
+namespace hybridndp::sim {
+
+/// Raw measurements taken by one profiler run.
+struct ProfileReport {
+  // CPU / memory.
+  double host_coremark = 0;    ///< synthetic compute kernel, it/s
+  double device_coremark = 0;  ///< synthetic compute kernel, it/s
+  double host_memcpy_gbps = 0;
+  double device_memcpy_gbps = 0;
+
+  // Flash.
+  double internal_seq_read_gbps = 0;
+  double internal_rand_read_iops = 0;
+  double host_native_seq_read_gbps = 0;
+  double host_blk_seq_read_gbps = 0;
+
+  // Interconnect (handshake transfers of different sizes).
+  double pcie_small_xfer_us = 0;   ///< 4 KiB round trip
+  double pcie_large_xfer_gbps = 0; ///< 64 MiB streaming
+
+  std::string ToString() const;
+};
+
+/// Runs the profiling micro-benchmarks against the (simulated) platform and
+/// returns both the raw report and an HwParams whose derived fields
+/// (flash clock ratios, memcpy efficiency, compute ratio) are set from the
+/// measurements — the paper's "parameter values in Table 2".
+class HardwareProfiler {
+ public:
+  explicit HardwareProfiler(const HwParams& platform) : platform_(platform) {}
+
+  ProfileReport Run() const;
+
+  /// Translate a report into hardware-model parameters.
+  HwParams DeriveParams(const ProfileReport& report) const;
+
+ private:
+  HwParams platform_;
+};
+
+}  // namespace hybridndp::sim

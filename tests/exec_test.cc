@@ -1,0 +1,434 @@
+// Tests for the expression system and the volcano operators, validated
+// against brute-force reference implementations on small synthetic tables.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "exec/operator.h"
+#include "lsm/db.h"
+#include "rel/table.h"
+#include "sim/hw_model.h"
+
+namespace hybridndp::exec {
+namespace {
+
+using rel::CharCol;
+using rel::IntCol;
+using rel::RowBuilder;
+using rel::RowView;
+using rel::TableDef;
+using sim::AccessContext;
+using sim::Actor;
+using sim::HwParams;
+using sim::IoPath;
+
+TEST(LikeMatchTest, BasicPatterns) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_FALSE(LikeMatch("hello", "world"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(LikeMatch("hello", "h_lo"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("abc", "%%%"));
+  EXPECT_TRUE(LikeMatch("a(co-production)b", "%(co-production)%"));
+  EXPECT_FALSE(LikeMatch("a(coproduction)b", "%(co-production)%"));
+}
+
+TEST(LikeMatchTest, BacktrackingCases) {
+  EXPECT_TRUE(LikeMatch("aaab", "%ab"));
+  EXPECT_TRUE(LikeMatch("abcabc", "%abc"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%iss%ppi"));
+  EXPECT_FALSE(LikeMatch("mississippi", "%iss%xppi"));
+}
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest()
+      : hw_(HwParams::PaperDefaults()),
+        storage_(&hw_),
+        db_(&storage_, MakeDbOptions()),
+        catalog_(&db_),
+        ctx_(&hw_, Actor::kHost, IoPath::kNative) {
+    // Table "emp": id, dept_id (indexed), salary, name.
+    TableDef emp;
+    emp.name = "emp";
+    emp.schema = rel::Schema({IntCol("id"), IntCol("dept_id"),
+                              IntCol("salary"), CharCol("name", 12)});
+    emp.pk_col = 0;
+    emp.indexes.push_back({"dept_id", 1});
+    emp_ = catalog_.CreateTable(std::move(emp));
+
+    // Table "dept": id, budget, dname.
+    TableDef dept;
+    dept.name = "dept";
+    dept.schema =
+        rel::Schema({IntCol("id"), IntCol("budget"), CharCol("dname", 8)});
+    dept.pk_col = 0;
+    dept_ = catalog_.CreateTable(std::move(dept));
+
+    for (int i = 0; i < 500; ++i) {
+      RowBuilder rb(&emp_->schema());
+      rb.SetInt(0, i)
+          .SetInt(1, i % 20)
+          .SetInt(2, 1000 + (i * 37) % 5000)
+          .SetString(3, "emp" + std::to_string(i));
+      EXPECT_TRUE(emp_->Insert(rb.row()).ok());
+    }
+    for (int i = 0; i < 20; ++i) {
+      RowBuilder rb(&dept_->schema());
+      rb.SetInt(0, i).SetInt(1, 10000 * i).SetString(2, "d" + std::to_string(i));
+      EXPECT_TRUE(dept_->Insert(rb.row()).ok());
+    }
+    EXPECT_TRUE(db_.FlushAll().ok());
+  }
+
+  static lsm::DBOptions MakeDbOptions() {
+    lsm::DBOptions o;
+    o.memtable_bytes = 64 << 10;
+    return o;
+  }
+
+  lsm::ReadOptions ReadOpts() {
+    lsm::ReadOptions o;
+    o.ctx = &ctx_;
+    return o;
+  }
+
+  OperatorPtr ScanEmp(Expr::Ptr pred = nullptr,
+                      std::vector<std::string> proj = {}) {
+    return std::make_unique<TableScanOp>(emp_, "e", ReadOpts(),
+                                         std::move(pred), std::move(proj));
+  }
+  OperatorPtr ScanDept(Expr::Ptr pred = nullptr,
+                       std::vector<std::string> proj = {}) {
+    return std::make_unique<TableScanOp>(dept_, "d", ReadOpts(),
+                                         std::move(pred), std::move(proj));
+  }
+
+  HwParams hw_;
+  lsm::VirtualStorage storage_;
+  lsm::DB db_;
+  rel::Catalog catalog_;
+  AccessContext ctx_;
+  rel::Table* emp_ = nullptr;
+  rel::Table* dept_ = nullptr;
+};
+
+TEST_F(ExecTest, TableScanAllRows) {
+  auto scan = ScanEmp();
+  auto rows = CollectAll(scan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 500u);
+}
+
+TEST_F(ExecTest, TableScanWithEarlySelection) {
+  auto scan = ScanEmp(Expr::CmpInt("e.salary", CmpOp::kGe, 5000));
+  auto rows = CollectAll(scan.get());
+  ASSERT_TRUE(rows.ok());
+  int expected = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (1000 + (i * 37) % 5000 >= 5000) ++expected;
+  }
+  EXPECT_EQ(static_cast<int>(rows->size()), expected);
+  EXPECT_GT(expected, 0);
+}
+
+TEST_F(ExecTest, TableScanEarlyProjectionShrinksRows) {
+  auto scan = ScanEmp(nullptr, {"e.id", "e.salary"});
+  ASSERT_TRUE(scan->Open().ok());
+  EXPECT_EQ(scan->output_schema().row_size(), 8u);
+  std::string row;
+  ASSERT_TRUE(scan->Next(&row));
+  EXPECT_EQ(row.size(), 8u);
+}
+
+TEST_F(ExecTest, TableScanUnknownProjectionFailsOpen) {
+  auto scan = ScanEmp(nullptr, {"e.bogus"});
+  EXPECT_FALSE(scan->Open().ok());
+}
+
+TEST_F(ExecTest, PredicateUnknownColumnFailsBind) {
+  auto scan = ScanEmp(Expr::CmpInt("e.nope", CmpOp::kEq, 1));
+  EXPECT_FALSE(scan->Open().ok());
+}
+
+TEST_F(ExecTest, StringPredicates) {
+  auto scan = ScanEmp(Expr::Like("e.name", "emp1%"));
+  auto rows = CollectAll(scan.get());
+  ASSERT_TRUE(rows.ok());
+  // emp1, emp10..emp19, emp100..emp199: 1 + 10 + 100 = 111.
+  EXPECT_EQ(rows->size(), 111u);
+
+  auto scan2 = ScanEmp(Expr::InStr("e.name", {"emp7", "emp8", "nobody"}));
+  auto rows2 = CollectAll(scan2.get());
+  ASSERT_TRUE(rows2.ok());
+  EXPECT_EQ(rows2->size(), 2u);
+}
+
+TEST_F(ExecTest, BetweenAndOrPredicates) {
+  auto pred = Expr::Or({Expr::Between("e.id", 10, 19),
+                        Expr::CmpInt("e.id", CmpOp::kEq, 400)});
+  auto scan = ScanEmp(pred);
+  auto rows = CollectAll(scan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 11u);
+}
+
+TEST_F(ExecTest, NotAndIsNotNull) {
+  auto scan = ScanEmp(Expr::Not(Expr::Between("e.id", 0, 489)));
+  auto rows = CollectAll(scan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+
+  auto scan2 = ScanEmp(Expr::IsNotNull("e.id"));
+  auto rows2 = CollectAll(scan2.get());
+  ASSERT_TRUE(rows2.ok());
+  EXPECT_EQ(rows2->size(), 499u);  // id 0 counts as null-ish zero
+}
+
+TEST_F(ExecTest, IndexScanEquality) {
+  auto scan = std::make_unique<IndexScanOp>(emp_, "e", 0, ReadOpts(), 7, 7,
+                                            nullptr, std::vector<std::string>{});
+  auto rows = CollectAll(scan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 25u);  // 500 employees / 20 depts
+  for (const auto& r : *rows) {
+    RowView v(r.data(), &scan->output_schema());
+    EXPECT_EQ(v.GetInt(1), 7);
+  }
+}
+
+TEST_F(ExecTest, IndexScanRangeWithResidual) {
+  auto scan = std::make_unique<IndexScanOp>(
+      emp_, "e", 0, ReadOpts(), 5, 8,
+      Expr::CmpInt("e.salary", CmpOp::kLt, 2000), std::vector<std::string>{});
+  auto rows = CollectAll(scan.get());
+  ASSERT_TRUE(rows.ok());
+  int expected = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (i % 20 >= 5 && i % 20 <= 8 && 1000 + (i * 37) % 5000 < 2000) ++expected;
+  }
+  EXPECT_EQ(static_cast<int>(rows->size()), expected);
+}
+
+TEST_F(ExecTest, FilterAndProjectCompose) {
+  OperatorPtr plan = ScanEmp();
+  plan = std::make_unique<FilterOp>(
+      std::move(plan), Expr::CmpInt("e.dept_id", CmpOp::kEq, 3), &ctx_);
+  plan = std::make_unique<ProjectOp>(std::move(plan),
+                                     std::vector<std::string>{"e.name"}, &ctx_);
+  auto rows = CollectAll(plan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 25u);
+  EXPECT_EQ(plan->output_schema().row_size(), 12u);
+}
+
+// Reference join for validation.
+std::multiset<std::pair<int, int>> ReferenceJoin() {
+  std::multiset<std::pair<int, int>> expected;
+  for (int i = 0; i < 500; ++i) expected.insert({i, i % 20});
+  return expected;
+}
+
+std::multiset<std::pair<int, int>> ExtractJoin(
+    const std::vector<std::string>& rows, const rel::Schema& schema,
+    const std::string& emp_id_col, const std::string& dept_id_col) {
+  std::multiset<std::pair<int, int>> out;
+  const int e = schema.Find(emp_id_col);
+  const int d = schema.Find(dept_id_col);
+  EXPECT_GE(e, 0);
+  EXPECT_GE(d, 0);
+  for (const auto& r : rows) {
+    RowView v(r.data(), &schema);
+    out.insert({v.GetInt(e), v.GetInt(d)});
+  }
+  return out;
+}
+
+TEST_F(ExecTest, NestedLoopJoinMatchesReference) {
+  auto join = std::make_unique<NestedLoopJoinOp>(
+      ScanDept(), ScanEmp(), std::vector<JoinKey>{{"d.id", "e.dept_id"}},
+      nullptr, &ctx_);
+  auto rows = CollectAll(join.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 500u);
+  EXPECT_EQ(ExtractJoin(*rows, join->output_schema(), "e.id", "d.id"),
+            ReferenceJoin());
+}
+
+TEST_F(ExecTest, BlockNLJoinMatchesReferenceAcrossBufferSizes) {
+  for (uint64_t buffer : {64u, 512u, 1u << 20}) {
+    auto join = std::make_unique<BlockNLJoinOp>(
+        ScanEmp(), ScanDept(), std::vector<JoinKey>{{"e.dept_id", "d.id"}},
+        nullptr, buffer, &ctx_);
+    auto rows = CollectAll(join.get());
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 500u) << "buffer=" << buffer;
+    EXPECT_EQ(ExtractJoin(*rows, join->output_schema(), "e.id", "d.id"),
+              ReferenceJoin());
+    if (buffer <= 512u) {
+      EXPECT_GT(static_cast<BlockNLJoinOp*>(join.get())->blocks_used(), 1u);
+    }
+  }
+}
+
+TEST_F(ExecTest, BlockNLJoinWithResidual) {
+  auto join = std::make_unique<BlockNLJoinOp>(
+      ScanEmp(), ScanDept(), std::vector<JoinKey>{{"e.dept_id", "d.id"}},
+      Expr::CmpInt("d.budget", CmpOp::kGe, 100000), 1 << 20, &ctx_);
+  auto rows = CollectAll(join.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 250u);  // depts 10..19
+}
+
+TEST_F(ExecTest, IndexedJoinViaPrimaryKey) {
+  // emp.dept_id -> dept.id (pk): BNLJI through primary key seeks.
+  auto join = std::make_unique<BlockNLIndexJoinOp>(
+      ScanEmp(), "e.dept_id", dept_, "d", "id", ReadOpts(), nullptr,
+      std::vector<std::string>{}, 1 << 16, &ctx_);
+  auto rows = CollectAll(join.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 500u);
+  EXPECT_EQ(ExtractJoin(*rows, join->output_schema(), "e.id", "d.id"),
+            ReferenceJoin());
+}
+
+TEST_F(ExecTest, IndexedJoinViaSecondaryIndex) {
+  // dept.id -> emp.dept_id (secondary index on emp).
+  auto join = std::make_unique<BlockNLIndexJoinOp>(
+      ScanDept(), "d.id", emp_, "e", "dept_id", ReadOpts(), nullptr,
+      std::vector<std::string>{}, 1 << 16, &ctx_);
+  auto rows = CollectAll(join.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 500u);
+  EXPECT_EQ(ExtractJoin(*rows, join->output_schema(), "e.id", "d.id"),
+            ReferenceJoin());
+  EXPECT_EQ(static_cast<BlockNLIndexJoinOp*>(join.get())->index_lookups(), 20u);
+}
+
+TEST_F(ExecTest, IndexedJoinRequiresIndex) {
+  auto join = std::make_unique<BlockNLIndexJoinOp>(
+      ScanDept(), "d.id", emp_, "e", "salary", ReadOpts(), nullptr,
+      std::vector<std::string>{}, 1 << 16, &ctx_);
+  EXPECT_FALSE(join->Open().ok());
+}
+
+TEST_F(ExecTest, GraceHashJoinMatchesReference) {
+  for (int parts : {1, 4, 16}) {
+    auto join = std::make_unique<GraceHashJoinOp>(
+        ScanDept(), ScanEmp(), std::vector<JoinKey>{{"d.id", "e.dept_id"}},
+        nullptr, parts, &ctx_);
+    auto rows = CollectAll(join.get());
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 500u) << "parts=" << parts;
+    EXPECT_EQ(ExtractJoin(*rows, join->output_schema(), "e.id", "d.id"),
+              ReferenceJoin());
+  }
+}
+
+TEST_F(ExecTest, JoinKeyWidthMismatchIsRejected) {
+  auto join = std::make_unique<BlockNLJoinOp>(
+      ScanEmp(), ScanDept(), std::vector<JoinKey>{{"e.name", "d.id"}}, nullptr,
+      1 << 20, &ctx_);
+  EXPECT_FALSE(join->Open().ok());
+}
+
+TEST_F(ExecTest, GroupByAggregates) {
+  auto agg = std::make_unique<GroupByAggOp>(
+      ScanEmp(), std::vector<std::string>{"e.dept_id"},
+      std::vector<AggSpec>{{AggFn::kCount, "", "cnt"},
+                           {AggFn::kSum, "e.salary", "total"},
+                           {AggFn::kMin, "e.salary", "lo"},
+                           {AggFn::kMax, "e.salary", "hi"},
+                           {AggFn::kAvg, "e.salary", "avg"}},
+      &ctx_);
+  auto rows = CollectAll(agg.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 20u);
+
+  // Reference aggregation.
+  std::map<int, std::vector<int>> ref;
+  for (int i = 0; i < 500; ++i) ref[i % 20].push_back(1000 + (i * 37) % 5000);
+  const auto& schema = agg->output_schema();
+  for (const auto& r : *rows) {
+    RowView v(r.data(), &schema);
+    const int dept = v.GetInt(0);
+    auto& salaries = ref[dept];
+    EXPECT_EQ(v.GetInt(schema.Find("cnt")), 25);
+    int64_t sum = 0;
+    int lo = salaries[0], hi = salaries[0];
+    for (int s : salaries) {
+      sum += s;
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    EXPECT_EQ(v.GetInt(schema.Find("total")), sum);
+    EXPECT_EQ(v.GetInt(schema.Find("lo")), lo);
+    EXPECT_EQ(v.GetInt(schema.Find("hi")), hi);
+    EXPECT_EQ(v.GetInt(schema.Find("avg")), sum / 25);
+  }
+}
+
+TEST_F(ExecTest, GlobalAggregateWithStringMin) {
+  auto agg = std::make_unique<GroupByAggOp>(
+      ScanEmp(Expr::CmpInt("e.id", CmpOp::kLt, 3)), std::vector<std::string>{},
+      std::vector<AggSpec>{{AggFn::kMin, "e.name", "min_name"},
+                           {AggFn::kCount, "", "cnt"}},
+      &ctx_);
+  auto rows = CollectAll(agg.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  RowView v((*rows)[0].data(), &agg->output_schema());
+  EXPECT_EQ(v.GetString(0).ToString(), "emp0");
+  EXPECT_EQ(v.GetInt(1), 3);
+}
+
+TEST_F(ExecTest, GlobalAggregateOnEmptyInputEmitsOneRow) {
+  auto agg = std::make_unique<GroupByAggOp>(
+      ScanEmp(Expr::CmpInt("e.id", CmpOp::kLt, -5)), std::vector<std::string>{},
+      std::vector<AggSpec>{{AggFn::kCount, "", "cnt"}}, &ctx_);
+  auto rows = CollectAll(agg.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  RowView v((*rows)[0].data(), &agg->output_schema());
+  EXPECT_EQ(v.GetInt(0), 0);
+}
+
+TEST_F(ExecTest, OperatorsChargeCosts) {
+  ctx_.ResetCosts();
+  auto join = std::make_unique<BlockNLJoinOp>(
+      ScanEmp(), ScanDept(), std::vector<JoinKey>{{"e.dept_id", "d.id"}},
+      nullptr, 1 << 20, &ctx_);
+  auto rows = CollectAll(join.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GT(ctx_.counters().Units(sim::CostKind::kHashBuild), 0u);
+  EXPECT_GT(ctx_.counters().Units(sim::CostKind::kHashProbe), 0u);
+  EXPECT_GT(ctx_.counters().Units(sim::CostKind::kFlashLoad), 0u);
+  EXPECT_GT(ctx_.now(), 0.0);
+}
+
+TEST_F(ExecTest, ExprSplitConjuncts) {
+  auto e = Expr::And({Expr::CmpInt("a", CmpOp::kEq, 1),
+                      Expr::And({Expr::CmpInt("b", CmpOp::kEq, 2),
+                                 Expr::CmpInt("c", CmpOp::kEq, 3)})});
+  std::vector<Expr::Ptr> conjuncts;
+  Expr::SplitConjuncts(e, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+}
+
+TEST_F(ExecTest, ExprToStringRendersSql) {
+  auto e = Expr::And({Expr::CmpStr("ct.kind", CmpOp::kEq, "production companies"),
+                      Expr::Like("mc.note", "%(presents)%", true)});
+  EXPECT_EQ(e->ToString(),
+            "(ct.kind = 'production companies' AND mc.note NOT LIKE "
+            "'%(presents)%')");
+}
+
+}  // namespace
+}  // namespace hybridndp::exec
