@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cacheformat.dir/bench_ablation_cacheformat.cc.o"
+  "CMakeFiles/bench_ablation_cacheformat.dir/bench_ablation_cacheformat.cc.o.d"
+  "bench_ablation_cacheformat"
+  "bench_ablation_cacheformat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cacheformat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

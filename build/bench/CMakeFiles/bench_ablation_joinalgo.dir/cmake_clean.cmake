@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_joinalgo.dir/bench_ablation_joinalgo.cc.o"
+  "CMakeFiles/bench_ablation_joinalgo.dir/bench_ablation_joinalgo.cc.o.d"
+  "bench_ablation_joinalgo"
+  "bench_ablation_joinalgo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_joinalgo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

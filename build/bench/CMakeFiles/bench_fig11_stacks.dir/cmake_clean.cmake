@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_stacks.dir/bench_fig11_stacks.cc.o"
+  "CMakeFiles/bench_fig11_stacks.dir/bench_fig11_stacks.cc.o.d"
+  "bench_fig11_stacks"
+  "bench_fig11_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

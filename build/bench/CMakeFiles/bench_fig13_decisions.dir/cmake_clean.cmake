@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_decisions.dir/bench_fig13_decisions.cc.o"
+  "CMakeFiles/bench_fig13_decisions.dir/bench_fig13_decisions.cc.o.d"
+  "bench_fig13_decisions"
+  "bench_fig13_decisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

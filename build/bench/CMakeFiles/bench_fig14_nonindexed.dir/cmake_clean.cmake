@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_nonindexed.dir/bench_fig14_nonindexed.cc.o"
+  "CMakeFiles/bench_fig14_nonindexed.dir/bench_fig14_nonindexed.cc.o.d"
+  "bench_fig14_nonindexed"
+  "bench_fig14_nonindexed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_nonindexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_insitu_index.dir/bench_fig15_insitu_index.cc.o"
+  "CMakeFiles/bench_fig15_insitu_index.dir/bench_fig15_insitu_index.cc.o.d"
+  "bench_fig15_insitu_index"
+  "bench_fig15_insitu_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_insitu_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lsm.dir/bench_micro_lsm.cc.o"
+  "CMakeFiles/bench_micro_lsm.dir/bench_micro_lsm.cc.o.d"
+  "bench_micro_lsm"
+  "bench_micro_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

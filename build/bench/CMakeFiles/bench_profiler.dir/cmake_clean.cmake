@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profiler.dir/bench_profiler.cc.o"
+  "CMakeFiles/bench_profiler.dir/bench_profiler.cc.o.d"
+  "bench_profiler"
+  "bench_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_intermediates.dir/bench_table3_intermediates.cc.o"
+  "CMakeFiles/bench_table3_intermediates.dir/bench_table3_intermediates.cc.o.d"
+  "bench_table3_intermediates"
+  "bench_table3_intermediates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_intermediates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

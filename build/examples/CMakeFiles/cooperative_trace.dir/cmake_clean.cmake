@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_trace.dir/cooperative_trace.cpp.o"
+  "CMakeFiles/cooperative_trace.dir/cooperative_trace.cpp.o.d"
+  "cooperative_trace"
+  "cooperative_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

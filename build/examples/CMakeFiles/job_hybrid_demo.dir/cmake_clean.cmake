@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_hybrid_demo.dir/job_hybrid_demo.cpp.o"
+  "CMakeFiles/job_hybrid_demo.dir/job_hybrid_demo.cpp.o.d"
+  "job_hybrid_demo"
+  "job_hybrid_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_hybrid_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

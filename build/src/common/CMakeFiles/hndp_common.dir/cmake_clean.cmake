@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hndp_common.dir/arena.cc.o"
+  "CMakeFiles/hndp_common.dir/arena.cc.o.d"
+  "CMakeFiles/hndp_common.dir/bloom.cc.o"
+  "CMakeFiles/hndp_common.dir/bloom.cc.o.d"
+  "CMakeFiles/hndp_common.dir/coding.cc.o"
+  "CMakeFiles/hndp_common.dir/coding.cc.o.d"
+  "CMakeFiles/hndp_common.dir/hash.cc.o"
+  "CMakeFiles/hndp_common.dir/hash.cc.o.d"
+  "CMakeFiles/hndp_common.dir/random.cc.o"
+  "CMakeFiles/hndp_common.dir/random.cc.o.d"
+  "CMakeFiles/hndp_common.dir/status.cc.o"
+  "CMakeFiles/hndp_common.dir/status.cc.o.d"
+  "libhndp_common.a"
+  "libhndp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hndp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

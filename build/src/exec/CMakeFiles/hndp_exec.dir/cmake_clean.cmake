@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hndp_exec.dir/agg.cc.o"
+  "CMakeFiles/hndp_exec.dir/agg.cc.o.d"
+  "CMakeFiles/hndp_exec.dir/expr.cc.o"
+  "CMakeFiles/hndp_exec.dir/expr.cc.o.d"
+  "CMakeFiles/hndp_exec.dir/join.cc.o"
+  "CMakeFiles/hndp_exec.dir/join.cc.o.d"
+  "CMakeFiles/hndp_exec.dir/scan.cc.o"
+  "CMakeFiles/hndp_exec.dir/scan.cc.o.d"
+  "libhndp_exec.a"
+  "libhndp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hndp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

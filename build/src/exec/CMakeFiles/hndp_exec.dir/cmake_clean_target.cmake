@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhndp_exec.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hndp_hybrid.dir/coop.cc.o"
+  "CMakeFiles/hndp_hybrid.dir/coop.cc.o.d"
+  "CMakeFiles/hndp_hybrid.dir/executor.cc.o"
+  "CMakeFiles/hndp_hybrid.dir/executor.cc.o.d"
+  "CMakeFiles/hndp_hybrid.dir/plan.cc.o"
+  "CMakeFiles/hndp_hybrid.dir/plan.cc.o.d"
+  "CMakeFiles/hndp_hybrid.dir/planner.cc.o"
+  "CMakeFiles/hndp_hybrid.dir/planner.cc.o.d"
+  "libhndp_hybrid.a"
+  "libhndp_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hndp_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

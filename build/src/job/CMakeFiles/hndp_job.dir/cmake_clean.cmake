@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hndp_job.dir/generator.cc.o"
+  "CMakeFiles/hndp_job.dir/generator.cc.o.d"
+  "CMakeFiles/hndp_job.dir/queries.cc.o"
+  "CMakeFiles/hndp_job.dir/queries.cc.o.d"
+  "CMakeFiles/hndp_job.dir/schema.cc.o"
+  "CMakeFiles/hndp_job.dir/schema.cc.o.d"
+  "libhndp_job.a"
+  "libhndp_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hndp_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

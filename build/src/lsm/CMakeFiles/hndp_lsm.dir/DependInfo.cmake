@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/block.cc" "src/lsm/CMakeFiles/hndp_lsm.dir/block.cc.o" "gcc" "src/lsm/CMakeFiles/hndp_lsm.dir/block.cc.o.d"
+  "/root/repo/src/lsm/block_cache.cc" "src/lsm/CMakeFiles/hndp_lsm.dir/block_cache.cc.o" "gcc" "src/lsm/CMakeFiles/hndp_lsm.dir/block_cache.cc.o.d"
+  "/root/repo/src/lsm/db.cc" "src/lsm/CMakeFiles/hndp_lsm.dir/db.cc.o" "gcc" "src/lsm/CMakeFiles/hndp_lsm.dir/db.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/lsm/CMakeFiles/hndp_lsm.dir/memtable.cc.o" "gcc" "src/lsm/CMakeFiles/hndp_lsm.dir/memtable.cc.o.d"
+  "/root/repo/src/lsm/sst.cc" "src/lsm/CMakeFiles/hndp_lsm.dir/sst.cc.o" "gcc" "src/lsm/CMakeFiles/hndp_lsm.dir/sst.cc.o.d"
+  "/root/repo/src/lsm/storage.cc" "src/lsm/CMakeFiles/hndp_lsm.dir/storage.cc.o" "gcc" "src/lsm/CMakeFiles/hndp_lsm.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hndp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hndp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hndp_lsm.dir/block.cc.o"
+  "CMakeFiles/hndp_lsm.dir/block.cc.o.d"
+  "CMakeFiles/hndp_lsm.dir/block_cache.cc.o"
+  "CMakeFiles/hndp_lsm.dir/block_cache.cc.o.d"
+  "CMakeFiles/hndp_lsm.dir/db.cc.o"
+  "CMakeFiles/hndp_lsm.dir/db.cc.o.d"
+  "CMakeFiles/hndp_lsm.dir/memtable.cc.o"
+  "CMakeFiles/hndp_lsm.dir/memtable.cc.o.d"
+  "CMakeFiles/hndp_lsm.dir/sst.cc.o"
+  "CMakeFiles/hndp_lsm.dir/sst.cc.o.d"
+  "CMakeFiles/hndp_lsm.dir/storage.cc.o"
+  "CMakeFiles/hndp_lsm.dir/storage.cc.o.d"
+  "libhndp_lsm.a"
+  "libhndp_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hndp_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hndp_ndp.dir/device_executor.cc.o"
+  "CMakeFiles/hndp_ndp.dir/device_executor.cc.o.d"
+  "libhndp_ndp.a"
+  "libhndp_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hndp_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

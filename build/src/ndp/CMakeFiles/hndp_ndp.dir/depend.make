@@ -1,0 +1,2 @@
+# Empty dependencies file for hndp_ndp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hndp_nkv.dir/ndp_command.cc.o"
+  "CMakeFiles/hndp_nkv.dir/ndp_command.cc.o.d"
+  "libhndp_nkv.a"
+  "libhndp_nkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hndp_nkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hndp_rel.dir/schema.cc.o"
+  "CMakeFiles/hndp_rel.dir/schema.cc.o.d"
+  "CMakeFiles/hndp_rel.dir/stats.cc.o"
+  "CMakeFiles/hndp_rel.dir/stats.cc.o.d"
+  "CMakeFiles/hndp_rel.dir/table.cc.o"
+  "CMakeFiles/hndp_rel.dir/table.cc.o.d"
+  "libhndp_rel.a"
+  "libhndp_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hndp_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

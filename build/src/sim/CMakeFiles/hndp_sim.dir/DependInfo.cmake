@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost.cc" "src/sim/CMakeFiles/hndp_sim.dir/cost.cc.o" "gcc" "src/sim/CMakeFiles/hndp_sim.dir/cost.cc.o.d"
+  "/root/repo/src/sim/hw_model.cc" "src/sim/CMakeFiles/hndp_sim.dir/hw_model.cc.o" "gcc" "src/sim/CMakeFiles/hndp_sim.dir/hw_model.cc.o.d"
+  "/root/repo/src/sim/profiler.cc" "src/sim/CMakeFiles/hndp_sim.dir/profiler.cc.o" "gcc" "src/sim/CMakeFiles/hndp_sim.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hndp_sim.dir/cost.cc.o"
+  "CMakeFiles/hndp_sim.dir/cost.cc.o.d"
+  "CMakeFiles/hndp_sim.dir/hw_model.cc.o"
+  "CMakeFiles/hndp_sim.dir/hw_model.cc.o.d"
+  "CMakeFiles/hndp_sim.dir/profiler.cc.o"
+  "CMakeFiles/hndp_sim.dir/profiler.cc.o.d"
+  "libhndp_sim.a"
+  "libhndp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hndp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

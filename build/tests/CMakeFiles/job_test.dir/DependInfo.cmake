@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/job_test.cc" "tests/CMakeFiles/job_test.dir/job_test.cc.o" "gcc" "tests/CMakeFiles/job_test.dir/job_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/job/CMakeFiles/hndp_job.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/hndp_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/hndp_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nkv/CMakeFiles/hndp_nkv.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/hndp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/hndp_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/hndp_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hndp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_test.dir/ndp_test.cc.o"
+  "CMakeFiles/ndp_test.dir/ndp_test.cc.o.d"
+  "ndp_test"
+  "ndp_test.pdb"
+  "ndp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
