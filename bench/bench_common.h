@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "hybrid/executor.h"
 #include "hybrid/planner.h"
 #include "job/generator.h"
@@ -35,6 +36,8 @@ struct BenchEnv {
 
   std::unique_ptr<hybrid::Planner> planner;
   std::unique_ptr<hybrid::HybridExecutor> executor;
+  /// Worker pool for fanning independent strategy runs (HNDP_THREADS).
+  std::unique_ptr<common::ThreadPool> pool;
 };
 
 /// Paper-proportional hardware + buffer configuration for a given scale.
@@ -85,6 +88,10 @@ inline std::unique_ptr<BenchEnv> MakeJobEnv(double default_scale = 0.001) {
   env->executor = std::make_unique<hybrid::HybridExecutor>(
       env->catalog.get(), env->storage.get(), &env->hw, env->planner_config);
 
+  int threads = common::ThreadPool::DefaultThreads();
+  if (const char* s = std::getenv("HNDP_THREADS")) threads = atoi(s);
+  env->pool = std::make_unique<common::ThreadPool>(threads);
+
   uint64_t rows = 0, bytes = 0;
   for (auto* t : env->catalog->tables()) {
     rows += t->row_count();
@@ -97,17 +104,33 @@ inline std::unique_ptr<BenchEnv> MakeJobEnv(double default_scale = 0.001) {
   return env;
 }
 
+/// Per-run host cache capacity. Paper proportions: the host's 4 GB RAM
+/// holds ~1/4 of the raw data but, crucially, the hottest table + its index
+/// (cast_info, ~2.4 GB) fits. Our scaled-down LSM has proportionally higher
+/// index overhead, so 40% of stored bytes reproduces that fits-the-hot-set
+/// property.
+inline uint64_t HostCacheBytes(const BenchEnv* env) {
+  return std::max<uint64_t>(1 << 20, env->storage->TotalBytes() * 2 / 5);
+}
+
 /// Run one query under one choice with a fresh host cache.
 inline Result<hybrid::RunResult> RunChoice(BenchEnv* env,
                                            const hybrid::Plan& plan,
                                            const hybrid::ExecChoice& choice) {
-  // Paper proportions: the host's 4 GB RAM holds ~1/4 of the raw data but,
-  // crucially, the hottest table + its index (cast_info, ~2.4 GB) fits. Our
-  // scaled-down LSM has proportionally higher index overhead, so 40% of
-  // stored bytes reproduces that fits-the-hot-set property.
-  lsm::BlockCache cache(std::max<uint64_t>(1 << 20,
-                                           env->storage->TotalBytes() * 2 / 5));
+  lsm::BlockCache cache(HostCacheBytes(env));
   return env->executor->Run(plan, choice, &cache);
+}
+
+/// Run one query under many choices, fanned over the env's worker pool.
+/// Every run gets its own fresh host cache (cold-start semantics, same as
+/// RunChoice); results come back in choice order.
+inline std::vector<Result<hybrid::RunResult>> RunAllChoices(
+    BenchEnv* env, const hybrid::Plan& plan,
+    const std::vector<hybrid::ExecChoice>& choices) {
+  const uint64_t cache_bytes = HostCacheBytes(env);
+  return env->executor->RunAll(plan, choices, env->pool.get(), [cache_bytes] {
+    return std::make_unique<lsm::BlockCache>(cache_bytes);
+  });
 }
 
 /// Plan a JOB query by id string like "8c".

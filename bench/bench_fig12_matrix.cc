@@ -39,24 +39,29 @@ int main() {
              plan.status().ToString().c_str());
       continue;
     }
-    auto run = [&](ExecChoice choice) -> double {
-      auto r = RunChoice(env.get(), *plan, choice);
-      return r.ok() ? r->total_ms() : -1.0;
+    // All strategies of one query are independent cold-start runs: fan them
+    // over the worker pool (choice order: BLK, NATIVE, H0..H(n-2), NDP).
+    const std::vector<ExecChoice> choices =
+        hybrid::HybridExecutor::AllChoices(*plan);
+    auto results = RunAllChoices(env.get(), *plan, choices);
+    auto ms_of = [&](size_t i) -> double {
+      return i < results.size() && results[i].ok() ? results[i]->total_ms()
+                                                   : -1.0;
     };
 
-    const double host = run({Strategy::kHostBlk, 0});
-    const double native = run({Strategy::kHostNative, 0});
-    const double h0 = run({Strategy::kHybrid, 0});
+    const double host = ms_of(0);
+    const double native = ms_of(1);
+    const double h0 = ms_of(2);
     double best_hk = -1;
     int best_k = -1;
     for (int k = 1; k <= plan->num_tables() - 2; ++k) {
-      const double t = run({Strategy::kHybrid, k});
+      const double t = ms_of(2 + static_cast<size_t>(k));
       if (t >= 0 && (best_hk < 0 || t < best_hk)) {
         best_hk = t;
         best_k = k;
       }
     }
-    const double ndp = run({Strategy::kFullNdp, 0});
+    const double ndp = ms_of(results.size() - 1);
 
     // Winner classification.
     struct Entry {

@@ -28,26 +28,32 @@ int main() {
          "dev stall ms", "interm. rows");
   PrintRule();
 
-  auto show = [&](const char* name, ExecChoice choice) {
-    auto r = RunChoice(env.get(), *plan, choice);
+  // All split positions are independent cold-start runs: execute the whole
+  // sweep over the worker pool and print in position order.
+  std::vector<ExecChoice> choices = {{Strategy::kHostBlk, 0}};
+  std::vector<std::string> names = {"block-only"};
+  for (int k = 0; k <= plan->num_tables() - 2; ++k) {
+    choices.push_back({Strategy::kHybrid, k});
+    names.push_back("H" + std::to_string(k));
+  }
+  choices.push_back({Strategy::kFullNdp, 0});
+  names.push_back("NDP-only");
+
+  auto results = RunAllChoices(env.get(), *plan, choices);
+  for (size_t i = 0; i < choices.size(); ++i) {
+    const auto& r = results[i];
     if (!r.ok()) {
-      printf("%-12s (%s)\n", name, r.status().ToString().c_str());
-      return;
+      printf("%-12s (%s)\n", names[i].c_str(),
+             r.status().ToString().c_str());
+      continue;
     }
-    printf("%-12s %12.2f %14.2f %14.2f %14llu\n", name, r->total_ms(),
+    printf("%-12s %12.2f %14.2f %14.2f %14llu\n", names[i].c_str(),
+           r->total_ms(),
            (r->host_stages.initial_wait + r->host_stages.later_waits) /
                kNanosPerMilli,
            r->device_stall_ns / kNanosPerMilli,
            static_cast<unsigned long long>(r->device_rows));
-  };
-
-  show("block-only", {Strategy::kHostBlk, 0});
-  for (int k = 0; k <= plan->num_tables() - 2; ++k) {
-    char name[16];
-    snprintf(name, sizeof(name), "H%d", k);
-    show(name, {Strategy::kHybrid, k});
   }
-  show("NDP-only", {Strategy::kFullNdp, 0});
   PrintRule();
   printf("optimizer's pick for this query: %s\n",
          plan->recommended.ToString().c_str());

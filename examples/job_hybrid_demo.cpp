@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/thread_pool.h"
 #include "hybrid/executor.h"
 #include "hybrid/planner.h"
 #include "job/generator.h"
@@ -63,15 +64,24 @@ int main(int argc, char** argv) {
   hybrid::HybridExecutor executor(&catalog, &storage, &hw, cfg);
   printf("%-14s %12s %12s %14s %12s\n", "strategy", "total ms", "waits ms",
          "interm. rows", "batches");
-  for (const auto& choice : hybrid::HybridExecutor::AllChoices(*plan)) {
-    lsm::BlockCache cache(storage.TotalBytes() * 2 / 5);
-    auto r = executor.Run(*plan, choice, &cache);
+  // All strategies are independent cold-start runs; fan them over a worker
+  // pool (each with its own fresh cache) and print in choice order.
+  int threads = common::ThreadPool::DefaultThreads();
+  if (const char* s = std::getenv("HNDP_THREADS")) threads = atoi(s);
+  common::ThreadPool pool(threads);
+  const uint64_t cache_bytes = storage.TotalBytes() * 2 / 5;
+  const auto choices = hybrid::HybridExecutor::AllChoices(*plan);
+  auto results = executor.RunAll(*plan, choices, &pool, [cache_bytes] {
+    return std::make_unique<lsm::BlockCache>(cache_bytes);
+  });
+  for (size_t i = 0; i < choices.size(); ++i) {
+    const auto& r = results[i];
     if (!r.ok()) {
-      printf("%-14s (%s)\n", choice.ToString().c_str(),
+      printf("%-14s (%s)\n", choices[i].ToString().c_str(),
              r.status().ToString().c_str());
       continue;
     }
-    printf("%-14s %12.3f %12.3f %14llu %12d\n", choice.ToString().c_str(),
+    printf("%-14s %12.3f %12.3f %14llu %12d\n", choices[i].ToString().c_str(),
            r->total_ms(),
            (r->host_stages.initial_wait + r->host_stages.later_waits) /
                kNanosPerMilli,

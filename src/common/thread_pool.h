@@ -1,0 +1,53 @@
+// Fixed-size worker pool for fanning out independent work units (parallel
+// strategy runs, cache stress tests). Tasks are plain std::function jobs;
+// Submit returns a future, ParallelFor blocks until every index is done.
+//
+// The pool carries no cost-model state: simulated clocks live in per-run
+// AccessContexts, so running two simulations on different workers cannot
+// perturb either timeline (wall-clock parallelism, simulation-identical).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hybridndp::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task; the future resolves when it has run.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Run fn(0) .. fn(n-1) across the pool and wait for all of them.
+  /// With a single worker this degenerates to a serial loop in index order.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Default worker count: hardware concurrency, at least 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hybridndp::common

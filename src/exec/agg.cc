@@ -56,15 +56,13 @@ Status GroupByAggOp::Consume() {
   std::string row;
   while (child_->Next(&row)) {
     const RowView view(row.data(), &in);
-    // Group key = raw bytes of the group columns.
-    std::string key;
-    for (int idx : group_idx_) {
-      key.append(row.data() + in.offset(idx), in.column(idx).size);
-    }
-    auto [it, inserted] = groups_.try_emplace(key);
+    // Group key = raw bytes of the group columns (buffer reused per row; the
+    // map only copies it when a new group is inserted).
+    KeyBytesInto(in, group_idx_, row.data(), &key_buf_);
+    auto [it, inserted] = groups_.try_emplace(key_buf_);
     if (inserted) {
       it->second.resize(aggs_.size());
-      if (ctx_ != nullptr) ctx_->ChargeCopy(key.size());
+      if (ctx_ != nullptr) ctx_->ChargeCopy(key_buf_.size());
     }
     if (ctx_ != nullptr) {
       ctx_->Charge(sim::CostKind::kHashProbe, 1);

@@ -84,6 +84,12 @@ Status Expr::Bind(const Schema& schema) {
   return Status::OK();
 }
 
+Expr::Ptr Expr::Clone() const {
+  auto copy = std::make_shared<Expr>(*this);
+  for (auto& child : copy->children) child = child->Clone();
+  return copy;
+}
+
 bool Expr::Eval(const RowView& row, sim::AccessContext* ctx) const {
   switch (kind) {
     case ExprKind::kCmpInt: {

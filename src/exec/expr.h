@@ -61,6 +61,10 @@ class Expr {
   /// missing.
   Status Bind(const Schema& schema);
 
+  /// Deep copy of the tree. Bind() writes per-node state, so a tree shared
+  /// between concurrently executing plans must be cloned per run.
+  Ptr Clone() const;
+
   /// Evaluate against a bound row; charges comparison costs to ctx when set.
   bool Eval(const RowView& row, sim::AccessContext* ctx) const;
 

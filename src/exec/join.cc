@@ -31,16 +31,6 @@ Status ResolveKeys(const std::vector<JoinKey>& keys, const Schema& left,
   return Status::OK();
 }
 
-/// Concatenated key bytes of the given columns of one row.
-std::string KeyBytes(const Schema& schema, const std::vector<int>& cols,
-                     const char* row) {
-  std::string key;
-  for (int c : cols) {
-    key.append(row + schema.offset(c), schema.column(c).size);
-  }
-  return key;
-}
-
 /// Concatenate two rows into the combined schema layout.
 void ConcatRows(const Schema& left, const Schema& right, const char* lrow,
                 const char* rrow, std::string* out, sim::AccessContext* ctx) {
@@ -62,6 +52,21 @@ std::vector<int> RightCols(const std::vector<std::pair<int, int>>& kc) {
 }
 
 }  // namespace
+
+void KeyBytesInto(const Schema& schema, const std::vector<int>& cols,
+                  const char* row, std::string* out) {
+  out->clear();
+  for (int c : cols) {
+    out->append(row + schema.offset(c), schema.column(c).size);
+  }
+}
+
+std::string KeyBytes(const Schema& schema, const std::vector<int>& cols,
+                     const char* row) {
+  std::string key;
+  KeyBytesInto(schema, cols, row, &key);
+  return key;
+}
 
 // ----------------------------------------------------------- NestedLoopJoin
 
@@ -98,7 +103,6 @@ Status NestedLoopJoinOp::Rewind() { return Open(); }
 bool NestedLoopJoinOp::Next(std::string* row) {
   const Schema& lschema = outer_->output_schema();
   const Schema& rschema = inner_->output_schema();
-  std::string inner_row;
   while (true) {
     if (!have_outer_) {
       if (!outer_->Next(&outer_row_)) return false;
@@ -106,20 +110,20 @@ bool NestedLoopJoinOp::Next(std::string* row) {
       Status s = inner_->Rewind();
       if (!s.ok()) return false;
     }
-    while (inner_->Next(&inner_row)) {
+    while (inner_->Next(&inner_row_)) {
       // Compare all key columns byte-wise.
       bool match = true;
       for (const auto& [l, r] : key_cols_) {
         const uint32_t width = lschema.column(l).size;
         if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kMemcmp, width);
         if (memcmp(outer_row_.data() + lschema.offset(l),
-                   inner_row.data() + rschema.offset(r), width) != 0) {
+                   inner_row_.data() + rschema.offset(r), width) != 0) {
           match = false;
           break;
         }
       }
       if (!match) continue;
-      ConcatRows(lschema, rschema, outer_row_.data(), inner_row.data(), row,
+      ConcatRows(lschema, rschema, outer_row_.data(), inner_row_.data(), row,
                  ctx_);
       if (residual_ != nullptr &&
           !residual_->Eval(RowView(row->data(), &out_schema_), ctx_)) {
@@ -149,6 +153,8 @@ Status BlockNLJoinOp::Open() {
   HNDP_RETURN_IF_ERROR(inner_->Open());
   HNDP_RETURN_IF_ERROR(ResolveKeys(keys_, outer_->output_schema(),
                                    inner_->output_schema(), &key_cols_));
+  outer_key_cols_ = LeftCols(key_cols_);
+  inner_key_cols_ = RightCols(key_cols_);
   out_schema_ =
       Schema::Concat(outer_->output_schema(), inner_->output_schema());
   if (residual_ != nullptr) {
@@ -164,14 +170,6 @@ Status BlockNLJoinOp::Open() {
 }
 
 Status BlockNLJoinOp::Rewind() { return Open(); }
-
-std::string BlockNLJoinOp::OuterKey(const RowView& row) const {
-  return KeyBytes(outer_->output_schema(), LeftCols(key_cols_), row.data());
-}
-
-std::string BlockNLJoinOp::InnerKey(const RowView& row) const {
-  return KeyBytes(inner_->output_schema(), RightCols(key_cols_), row.data());
-}
 
 Status BlockNLJoinOp::LoadNextBlock() {
   block_.clear();
@@ -189,8 +187,9 @@ Status BlockNLJoinOp::LoadNextBlock() {
   }
   // Build the hash table over the buffered block.
   for (size_t i = 0; i < block_.size(); ++i) {
-    const RowView view(block_[i].data(), &outer_->output_schema());
-    hash_.emplace(OuterKey(view), i);
+    KeyBytesInto(outer_->output_schema(), outer_key_cols_, block_[i].data(),
+                 &key_buf_);
+    hash_.emplace(key_buf_, i);
     if (ctx_ != nullptr) {
       ctx_->Charge(sim::CostKind::kHashBuild, 1);
       ctx_->ChargeCopy(block_[i].size());
@@ -229,8 +228,8 @@ bool BlockNLJoinOp::Next(std::string* row) {
     if (inner_->Next(&inner_row_)) {
       have_inner_ = true;
       if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashProbe, 1);
-      const RowView view(inner_row_.data(), &rschema);
-      match_range_ = hash_.equal_range(InnerKey(view));
+      KeyBytesInto(rschema, inner_key_cols_, inner_row_.data(), &key_buf_);
+      match_range_ = hash_.equal_range(std::string_view(key_buf_));
       continue;
     }
     // Inner exhausted for this block: move to the next outer block.
@@ -352,9 +351,8 @@ Status BlockNLIndexJoinOp::FetchMatches(const RowView& outer_row) {
   ++lookups_;
   if (inner_index_no_ < 0) {
     // Direct primary-key seek.
-    std::string base_row;
-    Status s = inner_table_->GetByPk(inner_opts_, key, &base_row);
-    if (s.ok()) consider_row(base_row);
+    Status s = inner_table_->GetByPk(inner_opts_, key, &base_row_buf_);
+    if (s.ok()) consider_row(base_row_buf_);
     else if (!s.IsNotFound()) return s;
     return Status::OK();
   }
@@ -362,17 +360,19 @@ Status BlockNLIndexJoinOp::FetchMatches(const RowView& outer_row) {
   // Secondary-index path (paper Fig. 9): seek the secondary LSM-tree for all
   // entries with this key, extract the primary keys, then seek each in the
   // primary LSM-tree.
-  std::string prefix;
-  PutOrderedInt32(&prefix, key);
+  pk_prefix_buf_.clear();
+  PutOrderedInt32(&pk_prefix_buf_, key);
   lsm::Iterator* iter = index_iter_.get();
-  iter->Seek(Slice(prefix));
+  iter->Seek(Slice(pk_prefix_buf_));
   while (iter->Valid()) {
     const Slice ikey = iter->key();
-    if (ikey.size() < 8 || memcmp(ikey.data(), prefix.data(), 4) != 0) break;
+    if (ikey.size() < 8 ||
+        memcmp(ikey.data(), pk_prefix_buf_.data(), 4) != 0) {
+      break;
+    }
     const int32_t pk = GetOrderedInt32(ikey.data() + ikey.size() - 4);
-    std::string base_row;
-    Status s = inner_table_->GetByPk(inner_opts_, pk, &base_row);
-    if (s.ok()) consider_row(base_row);
+    Status s = inner_table_->GetByPk(inner_opts_, pk, &base_row_buf_);
+    if (s.ok()) consider_row(base_row_buf_);
     else if (!s.IsNotFound()) return s;
     iter->Next();
   }
@@ -425,6 +425,8 @@ Status GraceHashJoinOp::Open() {
   HNDP_RETURN_IF_ERROR(right_->Open());
   HNDP_RETURN_IF_ERROR(ResolveKeys(keys_, left_->output_schema(),
                                    right_->output_schema(), &key_cols_));
+  left_key_cols_ = LeftCols(key_cols_);
+  right_key_cols_ = RightCols(key_cols_);
   out_schema_ = Schema::Concat(left_->output_schema(), right_->output_schema());
   if (residual_ != nullptr) {
     HNDP_RETURN_IF_ERROR(residual_->Bind(out_schema_));
@@ -445,17 +447,17 @@ Status GraceHashJoinOp::Partition() {
   // charge both directions as streaming flash traffic plus the hash work.
   uint64_t spilled = 0;
   while (left_->Next(&row)) {
-    const std::string key =
-        KeyBytes(left_->output_schema(), LeftCols(key_cols_), row.data());
-    const size_t p = Hash64(Slice(key)) % num_partitions_;
+    KeyBytesInto(left_->output_schema(), left_key_cols_, row.data(),
+                 &key_buf_);
+    const size_t p = Hash64(Slice(key_buf_)) % num_partitions_;
     spilled += row.size();
     if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashProbe, 1);
     left_parts_[p].push_back(std::move(row));
   }
   while (right_->Next(&row)) {
-    const std::string key =
-        KeyBytes(right_->output_schema(), RightCols(key_cols_), row.data());
-    const size_t p = Hash64(Slice(key)) % num_partitions_;
+    KeyBytesInto(right_->output_schema(), right_key_cols_, row.data(),
+                 &key_buf_);
+    const size_t p = Hash64(Slice(key_buf_)) % num_partitions_;
     spilled += row.size();
     if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashProbe, 1);
     right_parts_[p].push_back(std::move(row));
@@ -472,9 +474,9 @@ Status GraceHashJoinOp::StartPartition(size_t p) {
   hash_.clear();
   const auto& build = left_parts_[p];
   for (size_t i = 0; i < build.size(); ++i) {
-    const std::string key =
-        KeyBytes(left_->output_schema(), LeftCols(key_cols_), build[i].data());
-    hash_.emplace(key, i);
+    KeyBytesInto(left_->output_schema(), left_key_cols_, build[i].data(),
+                 &key_buf_);
+    hash_.emplace(key_buf_, i);
     if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashBuild, 1);
   }
   probe_pos_ = 0;
@@ -506,12 +508,11 @@ bool GraceHashJoinOp::Next(std::string* row) {
       }
       in_match_ = false;
       if (probe_pos_ >= probe.size()) break;
-      const std::string key = KeyBytes(
-          right_->output_schema(), RightCols(key_cols_),
-          probe[probe_pos_].data());
+      KeyBytesInto(right_->output_schema(), right_key_cols_,
+                   probe[probe_pos_].data(), &key_buf_);
       ++probe_pos_;
       if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashProbe, 1);
-      match_range_ = hash_.equal_range(key);
+      match_range_ = hash_.equal_range(std::string_view(key_buf_));
       in_match_ = true;
     }
     ++part_;

@@ -10,9 +10,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "exec/expr.h"
 #include "lsm/db.h"
 #include "rel/table.h"
@@ -22,6 +24,30 @@ namespace hybridndp::exec {
 
 using rel::Schema;
 using rel::TableAccessor;
+
+/// Append the concatenated bytes of `cols` of `row` into *out (cleared
+/// first). Reusing a caller-owned buffer keeps the per-row join probe path
+/// free of heap allocations.
+void KeyBytesInto(const Schema& schema, const std::vector<int>& cols,
+                  const char* row, std::string* out);
+
+/// Allocating convenience variant (cold paths, tests).
+std::string KeyBytes(const Schema& schema, const std::vector<int>& cols,
+                     const char* row);
+
+/// Heterogeneous (transparent) string hashing so std::string-keyed hash
+/// tables can be probed with a std::string_view over a reused buffer.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return static_cast<size_t>(Hash64(s.data(), s.size()));
+  }
+};
+
+/// Join-side hash table: key bytes -> row index, string_view-probeable.
+using RowIndexMap = std::unordered_multimap<std::string, size_t,
+                                            TransparentStringHash,
+                                            std::equal_to<>>;
 
 /// Base volcano operator: Open / Next / Close, plus Rewind for join inners.
 class Operator {
@@ -116,6 +142,7 @@ class IndexScanOp final : public Operator {
   std::vector<std::string> projection_names_;
   lsm::IteratorPtr iter_;
   std::string end_key_;
+  std::string base_row_buf_;  ///< reused primary-row fetch buffer
 };
 
 /// Row source over a materialized vector (used to feed device-produced
@@ -208,6 +235,7 @@ class NestedLoopJoinOp final : public Operator {
   Schema out_schema_;
   std::vector<std::pair<int, int>> key_cols_;  ///< (outer idx, inner idx)
   std::string outer_row_;
+  std::string inner_row_;  ///< reused across Next() calls
   bool have_outer_ = false;
 };
 
@@ -231,8 +259,6 @@ class BlockNLJoinOp final : public Operator {
 
  private:
   Status LoadNextBlock();
-  std::string OuterKey(const RowView& row) const;
-  std::string InnerKey(const RowView& row) const;
 
   OperatorPtr outer_, inner_;
   std::vector<JoinKey> keys_;
@@ -241,16 +267,16 @@ class BlockNLJoinOp final : public Operator {
   sim::AccessContext* ctx_;
   Schema out_schema_;
   std::vector<std::pair<int, int>> key_cols_;
+  std::vector<int> outer_key_cols_, inner_key_cols_;  ///< resolved in Open()
 
   std::vector<std::string> block_;  ///< buffered outer rows
-  std::unordered_multimap<std::string, size_t> hash_;
+  RowIndexMap hash_;
   bool outer_exhausted_ = false;
   bool block_active_ = false;
   std::string inner_row_;
+  std::string key_buf_;  ///< reused probe/build key buffer
   bool have_inner_ = false;
-  std::pair<std::unordered_multimap<std::string, size_t>::iterator,
-            std::unordered_multimap<std::string, size_t>::iterator>
-      match_range_;
+  std::pair<RowIndexMap::iterator, RowIndexMap::iterator> match_range_;
   uint64_t blocks_ = 0;
 };
 
@@ -302,6 +328,8 @@ class BlockNLIndexJoinOp final : public Operator {
   std::vector<std::string> matches_;  ///< projected inner rows
   size_t match_pos_ = 0;
   std::string current_outer_;
+  std::string pk_prefix_buf_;  ///< reused secondary-index seek key
+  std::string base_row_buf_;   ///< reused primary-row fetch buffer
   bool have_outer_ = false;
   uint64_t lookups_ = 0;
 };
@@ -331,14 +359,14 @@ class GraceHashJoinOp final : public Operator {
   sim::AccessContext* ctx_;
   Schema out_schema_;
   std::vector<std::pair<int, int>> key_cols_;
+  std::vector<int> left_key_cols_, right_key_cols_;  ///< resolved in Open()
 
   std::vector<std::vector<std::string>> left_parts_, right_parts_;
   size_t part_ = 0;
-  std::unordered_multimap<std::string, size_t> hash_;
+  RowIndexMap hash_;
+  std::string key_buf_;  ///< reused partition/build/probe key buffer
   size_t probe_pos_ = 0;
-  std::pair<std::unordered_multimap<std::string, size_t>::iterator,
-            std::unordered_multimap<std::string, size_t>::iterator>
-      match_range_;
+  std::pair<RowIndexMap::iterator, RowIndexMap::iterator> match_range_;
   bool in_match_ = false;
   bool partitioned_ = false;
 };
@@ -384,6 +412,7 @@ class GroupByAggOp final : public Operator {
   Schema out_schema_;
   std::vector<int> group_idx_;
   std::vector<int> agg_idx_;
+  std::string key_buf_;  ///< reused group-key buffer
   std::map<std::string, std::vector<AggState>> groups_;
   std::map<std::string, std::vector<AggState>>::iterator emit_it_;
   bool consumed_ = false;

@@ -160,16 +160,15 @@ bool IndexScanOp::Next(std::string* row) {
     const int32_t pk = GetOrderedInt32(ikey.data() + ikey.size() - 4);
     iter_->Next();
 
-    std::string base_row;
-    Status s = table_->GetByPk(opts_, pk, &base_row);
+    Status s = table_->GetByPk(opts_, pk, &base_row_buf_);
     if (!s.ok()) continue;  // dangling index entry
-    const RowView view(base_row.data(), &aliased_schema_);
+    const RowView view(base_row_buf_.data(), &aliased_schema_);
     if (opts_.ctx != nullptr) {
       opts_.ctx->Charge(sim::CostKind::kSelectionProcessing, 1);
     }
     if (residual_ != nullptr && !residual_->Eval(view, opts_.ctx)) continue;
-    ProjectRow(aliased_schema_, out_cols_, out_schema_, base_row.data(), row,
-               opts_.ctx);
+    ProjectRow(aliased_schema_, out_cols_, out_schema_, base_row_buf_.data(),
+               row, opts_.ctx);
     ++rows_produced_;
     return true;
   }

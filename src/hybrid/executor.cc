@@ -22,6 +22,19 @@ exec::Expr::Ptr ExtraEdgeFilter(const std::vector<exec::JoinKey>& edges) {
   return exec::Expr::And(std::move(cmps));
 }
 
+/// Per-run copy of a plan with its predicate trees deep-cloned. Bind()
+/// writes resolved column indexes into the shared Expr nodes, so plans
+/// executing concurrently must not share them.
+Plan ClonePlanExprs(const Plan& plan) {
+  Plan copy = plan;
+  for (auto& table : copy.query.tables) {
+    if (table.predicate != nullptr) {
+      table.predicate = table.predicate->Clone();
+    }
+  }
+  return copy;
+}
+
 }  // namespace
 
 std::vector<ExecChoice> HybridExecutor::AllChoices(const Plan& plan) {
@@ -309,6 +322,32 @@ Result<RunResult> HybridExecutor::Run(const Plan& plan,
       return RunDeviceAssisted(plan, choice, cache);
   }
   return Status::InvalidArgument("bad strategy");
+}
+
+std::vector<Result<RunResult>> HybridExecutor::RunAll(
+    const Plan& plan, const std::vector<ExecChoice>& choices,
+    common::ThreadPool* pool, const CacheFactory& make_cache) const {
+  std::vector<Result<RunResult>> results(choices.size(),
+                                         Status::Internal("not run"));
+  // Pre-open every SST reader with a null context so that no run's first
+  // touch gets charged an index-block load the serial order would have
+  // attributed to an earlier run. After this, the read path is shared
+  // immutable state.
+  catalog_->db()->OpenAllReaders();
+
+  auto run_one = [&](size_t i) {
+    const Plan run_plan = ClonePlanExprs(plan);
+    std::unique_ptr<lsm::BlockCache> cache =
+        make_cache ? make_cache() : nullptr;
+    results[i] = Run(run_plan, choices[i], cache.get());
+  };
+
+  if (pool == nullptr || pool->size() <= 1) {
+    for (size_t i = 0; i < choices.size(); ++i) run_one(i);
+  } else {
+    pool->ParallelFor(choices.size(), run_one);
+  }
+  return results;
 }
 
 }  // namespace hybridndp::hybrid

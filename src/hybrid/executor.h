@@ -6,9 +6,11 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "hybrid/coop.h"
 #include "hybrid/plan.h"
 #include "hybrid/planner.h"
@@ -50,6 +52,22 @@ class HybridExecutor {
   /// cache; pass a fresh cache per run for cold-start numbers.
   Result<RunResult> Run(const Plan& plan, const ExecChoice& choice,
                         lsm::BlockCache* host_cache = nullptr) const;
+
+  /// Factory for the per-run host block cache used by RunAll. Each run gets
+  /// its own fresh cache so every strategy sees cold-start semantics and no
+  /// run's hit pattern depends on its neighbours. May return nullptr (no
+  /// cache); a null factory means "run without a cache".
+  using CacheFactory = std::function<std::unique_ptr<lsm::BlockCache>()>;
+
+  /// Run `plan` under every choice in `choices`, fanning independent runs
+  /// over `pool` (serial when pool is null or has one thread). The runs are
+  /// independent simulations — each gets its own AccessContext, cache, and
+  /// cloned predicate trees — so the simulated metrics are bit-identical to
+  /// running the choices one by one; only wall-clock time changes. Results
+  /// are returned in choice order.
+  std::vector<Result<RunResult>> RunAll(
+      const Plan& plan, const std::vector<ExecChoice>& choices,
+      common::ThreadPool* pool, const CacheFactory& make_cache = {}) const;
 
   /// Convenience: every executable choice for a plan, in the order
   /// BLK, NATIVE, H0..H(n-2), NDP.

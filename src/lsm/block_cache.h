@@ -2,13 +2,23 @@
 // the lifetime of the simulation, the cache tracks *residency* only: a hit
 // means the block is in host/device DRAM and the read charges no flash/PCIe
 // cost. Capacity is in bytes of cached block data.
+//
+// The cache is lock-striped for concurrent runs: keys hash to one of N
+// shards, each with its own mutex, LRU list and byte budget (capacity/N).
+// Shard selection is a pure function of the key, so a single-threaded run
+// sees a deterministic hit/miss sequence regardless of how many other runs
+// share the cache. Small caches (< kShardedCapacityMin) collapse to one
+// shard, which is byte-for-byte the classic global-LRU behaviour.
 
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 #include "lsm/storage.h"
 
@@ -17,22 +27,28 @@ namespace hybridndp::lsm {
 /// LRU residency cache over (file_id, block_offset) keys.
 class BlockCache {
  public:
-  explicit BlockCache(uint64_t capacity_bytes)
-      : capacity_bytes_(capacity_bytes) {}
+  /// `num_shards` <= 0 picks automatically: 1 shard for small caches (exact
+  /// global LRU), kDefaultShards for caches large enough that a per-shard
+  /// budget still holds many blocks.
+  explicit BlockCache(uint64_t capacity_bytes, int num_shards = 0);
 
   /// Returns true on hit and refreshes recency.
   bool Lookup(FileId file, uint64_t offset);
 
-  /// Insert a block of `bytes`; evicts LRU entries beyond capacity.
+  /// Insert a block of `bytes`; evicts LRU entries beyond the shard budget.
   void Insert(FileId file, uint64_t offset, uint64_t bytes);
 
   /// Drop all blocks of a file (after compaction deletes it).
   void EraseFile(FileId file);
 
-  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t used_bytes() const;
   uint64_t capacity_bytes() const { return capacity_bytes_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  static constexpr int kDefaultShards = 16;
+  static constexpr uint64_t kShardedCapacityMin = 4ull << 20;
 
  private:
   using Key = std::pair<FileId, uint64_t>;
@@ -40,13 +56,20 @@ class BlockCache {
     Key key;
     uint64_t bytes;
   };
+  struct Shard {
+    mutable std::mutex mu;
+    uint64_t capacity_bytes = 0;
+    uint64_t used_bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    std::list<Entry> lru;  // front = most recent
+    std::map<Key, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(FileId file, uint64_t offset);
 
   uint64_t capacity_bytes_;
-  uint64_t used_bytes_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  std::list<Entry> lru_;  // front = most recent
-  std::map<Key, std::list<Entry>::iterator> index_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace hybridndp::lsm

@@ -63,6 +63,7 @@ Status DB::Delete(ColumnFamilyId cf, const Slice& key) {
 Status DB::Write(ColumnFamilyId cf_id, ValueType type, const Slice& key,
                  const Slice& value) {
   if (cf_id >= cfs_.size()) return Status::InvalidArgument("bad cf");
+  readers_sealed_.store(false, std::memory_order_release);
   ColumnFamily* cf = cfs_[cf_id].get();
   cf->mem->Add(++sequence_, type, key, value);
   return MaybeFlush(cf);
@@ -97,6 +98,7 @@ Status DB::FlushMemTable(ColumnFamily* cf, const MemTable& mem) {
 
 Status DB::Flush(ColumnFamilyId cf_id) {
   if (cf_id >= cfs_.size()) return Status::InvalidArgument("bad cf");
+  readers_sealed_.store(false, std::memory_order_release);
   ColumnFamily* cf = cfs_[cf_id].get();
   for (auto& imm : cf->immutables) {
     HNDP_RETURN_IF_ERROR(FlushMemTable(cf, *imm));
@@ -173,6 +175,7 @@ std::vector<size_t> DB::OverlappingFiles(const ColumnFamily& cf, int level,
 Status DB::CompactLevel(ColumnFamily* cf, int level) {
   auto& src_files = cf->version.levels[level];
   if (src_files.empty()) return Status::OK();
+  readers_sealed_.store(false, std::memory_order_release);
 
   // Pick inputs: all of C1 for level 0; one round-robin file otherwise.
   std::vector<size_t> src_idx;
@@ -266,7 +269,10 @@ Status DB::CompactLevel(ColumnFamily* cf, int level) {
                                 }),
                  files->end());
     for (const auto& v : victims) {
-      readers_.erase(v.file_id);
+      {
+        std::lock_guard<std::mutex> lock(readers_mu_);
+        readers_.erase(v.file_id);
+      }
       storage_->RemoveFile(v.file_id);
     }
   };
@@ -282,13 +288,37 @@ Status DB::CompactLevel(ColumnFamily* cf, int level) {
   return Status::OK();
 }
 
-SstReader* DB::GetReader(FileId id, const FileMetaData& meta) {
+SstReader* DB::GetReader(FileId id, const FileMetaData& meta) const {
+  // Sealed fast path: after OpenAllReaders every live SST has an entry and
+  // the map is not mutated until the next write, so concurrent runs may
+  // search it without the mutex. GetByPk-heavy plans call this per row.
+  if (readers_sealed_.load(std::memory_order_acquire)) {
+    auto it = readers_.find(id);
+    if (it != readers_.end()) return it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(readers_mu_);
   auto it = readers_.find(id);
   if (it != readers_.end()) return it->second.get();
+  // A miss means the table was incomplete after all: drop the seal before
+  // mutating so no other thread walks the map while we insert.
+  readers_sealed_.store(false, std::memory_order_release);
   auto reader = std::make_unique<SstReader>(storage_, meta);
   SstReader* raw = reader.get();
   readers_[id] = std::move(reader);
   return raw;
+}
+
+void DB::OpenAllReaders() const {
+  for (const auto& cf : cfs_) {
+    for (const auto& level : cf->version.levels) {
+      for (const auto& meta : level) {
+        // No context: decoding charges nothing; later reads through a fresh
+        // cache still pay the (cached-or-not) index-block load per run.
+        GetReader(meta.file_id, meta)->EnsureOpened(nullptr, nullptr);
+      }
+    }
+  }
+  readers_sealed_.store(true, std::memory_order_release);
 }
 
 const Version& DB::GetVersion(ColumnFamilyId cf) const {
@@ -298,9 +328,9 @@ const Version& DB::GetVersion(ColumnFamilyId cf) const {
 }
 
 Status DB::Get(const ReadOptions& opts, ColumnFamilyId cf_id, const Slice& key,
-               std::string* value) {
+               std::string* value) const {
   if (cf_id >= cfs_.size()) return Status::InvalidArgument("bad cf");
-  ColumnFamily* cf = cfs_[cf_id].get();
+  const ColumnFamily* cf = cfs_[cf_id].get();
   const SequenceNumber seq = opts.snapshot;
   bool deleted = false;
 
@@ -313,7 +343,7 @@ Status DB::Get(const ReadOptions& opts, ColumnFamilyId cf_id, const Slice& key,
     }
   }
   // C1: overlapping, search newest (last flushed) first.
-  auto& l0 = cf->version.levels[0];
+  const auto& l0 = cf->version.levels[0];
   for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
     SstReader* reader = GetReader(it->file_id, *it);
     Status s = reader->Get(opts.ctx, opts.cache, key, seq, value, &deleted,
@@ -524,7 +554,7 @@ IteratorPtr NewUserKeyIterator(IteratorPtr internal_iter, SequenceNumber seq,
   return std::make_unique<UserKeyIterator>(std::move(internal_iter), seq, ctx);
 }
 
-IteratorPtr DB::NewIterator(const ReadOptions& opts, ColumnFamilyId cf_id) {
+IteratorPtr DB::NewIterator(const ReadOptions& opts, ColumnFamilyId cf_id) const {
   if (cf_id >= cfs_.size()) return std::make_unique<EmptyIterator>();
   CfSnapshot snap = GetCfSnapshot(cf_id);
   snap.sequence = opts.snapshot;

@@ -5,10 +5,12 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,7 +66,12 @@ struct CfSnapshot {
   Version version;  ///< copy of file metadata (placement info)
 };
 
-/// Single-threaded LSM database over a VirtualStorage.
+/// LSM database over a VirtualStorage. Writes (Put/Delete/Flush/Compact) are
+/// single-threaded; the read path (Get, NewIterator, GetCfSnapshot) is
+/// const-thread-safe once loading is done — concurrent independent runs may
+/// read through the same DB as long as no writer is active. The only shared
+/// mutable read-side state, the lazily-populated SstReader table, is
+/// mutex-protected (see DESIGN.md "Concurrency model").
 class DB {
  public:
   DB(VirtualStorage* storage, DBOptions options);
@@ -81,10 +88,10 @@ class DB {
 
   /// Point lookup through C0, immutables, C1..Ck with bloom/fence pruning.
   Status Get(const ReadOptions& opts, ColumnFamilyId cf, const Slice& key,
-             std::string* value);
+             std::string* value) const;
 
   /// User-key iterator (versions collapsed, tombstones hidden).
-  IteratorPtr NewIterator(const ReadOptions& opts, ColumnFamilyId cf);
+  IteratorPtr NewIterator(const ReadOptions& opts, ColumnFamilyId cf) const;
 
   /// Force-flush C0 (and immutables) of a column family to C1.
   Status Flush(ColumnFamilyId cf);
@@ -99,7 +106,16 @@ class DB {
   CfSnapshot GetCfSnapshot(ColumnFamilyId cf) const;
 
   /// Reader for a file (cached; index parsed once per DB). Host-side use.
-  SstReader* GetReader(FileId id, const FileMetaData& meta);
+  /// Thread-safe: the reader table is guarded by a mutex, except after
+  /// OpenAllReaders seals it — then lookups are lock-free until the next
+  /// write unseals.
+  SstReader* GetReader(FileId id, const FileMetaData& meta) const;
+
+  /// Instantiate and decode the reader of every live SST (no cost charged)
+  /// and seal the reader table for lock-free lookups. Called before fanning
+  /// runs out over a pool so that no run's simulated timeline depends on
+  /// which run touched a file first.
+  void OpenAllReaders() const;
 
   const DBOptions& options() const { return options_; }
   VirtualStorage* storage() { return storage_; }
@@ -141,7 +157,12 @@ class DB {
   SequenceNumber sequence_ = 0;
   std::vector<std::unique_ptr<ColumnFamily>> cfs_;
   std::map<std::string, ColumnFamilyId> cf_names_;
-  std::map<FileId, std::unique_ptr<SstReader>> readers_;
+  mutable std::mutex readers_mu_;
+  mutable std::map<FileId, std::unique_ptr<SstReader>> readers_;
+  /// True when readers_ covers every live SST and no write has happened
+  /// since: GetReader may then search the map without taking readers_mu_.
+  /// Any write-path mutation clears it.
+  mutable std::atomic<bool> readers_sealed_{false};
   Stats stats_;
 };
 

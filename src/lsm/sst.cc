@@ -95,7 +95,11 @@ bool SstReader::OutsideKeyRange(const Slice& user_key) const {
 }
 
 Status SstReader::EnsureOpened(sim::AccessContext* ctx, BlockCache* cache) {
-  if (opened_) return Status::OK();
+  // Fast path: already decoded (acquire pairs with the release below, making
+  // index_block_/bloom_ safely visible to other threads).
+  if (opened_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(open_mu_);
+  if (opened_.load(std::memory_order_relaxed)) return Status::OK();
   const std::string* contents = storage_->FileContents(meta_.file_id);
   if (contents == nullptr) {
     return Status::NotFound("sst file missing");
@@ -127,7 +131,7 @@ Status SstReader::EnsureOpened(sim::AccessContext* ctx, BlockCache* cache) {
   index_block_ = std::make_unique<BlockReader>(index_contents_);
   bloom_data_.assign(contents->data() + bloom_off, bloom_sz);
   bloom_ = std::make_unique<BloomFilter>(Slice(bloom_data_));
-  opened_ = true;
+  opened_.store(true, std::memory_order_release);
   return Status::OK();
 }
 

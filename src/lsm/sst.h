@@ -12,8 +12,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/bloom.h"
@@ -81,10 +83,18 @@ class SstBuilder {
 
 /// Read-side access to one SST. Readers are cheap to construct; the index
 /// block and bloom filter are decoded lazily on first use and their loads
-/// are charged to the providing context.
+/// are charged to the providing context. Once opened, a reader is immutable
+/// and safe to share across threads; the lazy open itself is double-checked
+/// under a mutex, so concurrent first touches are race-free (use
+/// DB::OpenAllReaders before a parallel fan-out to also keep the *charging*
+/// of the open independent of thread schedule).
 class SstReader {
  public:
   SstReader(const VirtualStorage* storage, const FileMetaData& meta);
+
+  /// Decode footer/index/bloom if not yet done; charges the index-block load
+  /// to `ctx` (unless cached or ctx is null). Thread-safe.
+  Status EnsureOpened(sim::AccessContext* ctx, BlockCache* cache);
 
   /// Point lookup of user_key at snapshot `seq`. On hit, fills value or sets
   /// *deleted. `cache`, when non-null, absorbs block loads.
@@ -104,14 +114,14 @@ class SstReader {
  private:
   class TwoLevelIter;
 
-  Status EnsureOpened(sim::AccessContext* ctx, BlockCache* cache);
   /// Charge + fetch one data block.
   Result<Slice> ReadBlock(sim::AccessContext* ctx, BlockCache* cache,
                           uint64_t offset, uint64_t size, bool sequential);
 
   const VirtualStorage* storage_;
   FileMetaData meta_;
-  bool opened_ = false;
+  std::atomic<bool> opened_{false};
+  std::mutex open_mu_;
   Slice index_contents_;
   std::unique_ptr<BlockReader> index_block_;
   std::string bloom_data_;
