@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -22,9 +23,59 @@
 #include "job/generator.h"
 #include "job/queries.h"
 #include "lsm/db.h"
+#include "obs/trace.h"
 #include "sim/hw_model.h"
 
 namespace hybridndp::bench {
+
+/// Strict environment parsing: the whole value must be a number (bare
+/// atof/atoi turn "abc" — and "3x" — silently into 0/3, which then runs the
+/// bench at a nonsense configuration). Rejected values keep the fallback
+/// and say so on stderr.
+inline double EnvDouble(const char* name, double fallback,
+                        bool require_positive) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE ||
+      (require_positive && !(v > 0))) {
+    fprintf(stderr, "# ignoring %s=\"%s\": expected a %s number, using %g\n",
+            name, s, require_positive ? "positive" : "finite", fallback);
+    return fallback;
+  }
+  return v;
+}
+
+inline long long EnvInt64(const char* name, long long fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    fprintf(stderr, "# ignoring %s=\"%s\": expected an integer, using %lld\n",
+            name, s, fallback);
+    return fallback;
+  }
+  return v;
+}
+
+/// Thread count: integers below 1 are clamped to 1 (with a note), anything
+/// non-numeric keeps the fallback.
+inline int EnvThreads(const char* name, int fallback) {
+  long long v = EnvInt64(name, fallback);
+  if (v < 1) {
+    fprintf(stderr, "# clamping %s=%lld to 1 thread\n", name, v);
+    v = 1;
+  }
+  if (v > 1024) {
+    fprintf(stderr, "# clamping %s=%lld to 1024 threads\n", name, v);
+    v = 1024;
+  }
+  return static_cast<int>(v);
+}
 
 struct BenchEnv {
   double scale = 0.001;
@@ -38,6 +89,15 @@ struct BenchEnv {
   std::unique_ptr<hybrid::HybridExecutor> executor;
   /// Worker pool for fanning independent strategy runs (HNDP_THREADS).
   std::unique_ptr<common::ThreadPool> pool;
+
+  /// Simulated-timeline recorder, created when HNDP_TRACE=<path> is set;
+  /// null otherwise (the executor's zero-overhead path). The trace and
+  /// metrics JSON are written when the env is destroyed (or earlier via
+  /// ExportTrace).
+  std::unique_ptr<obs::TraceRecorder> trace;
+  std::string trace_path;
+
+  ~BenchEnv();
 };
 
 /// Paper-proportional hardware + buffer configuration for a given scale.
@@ -63,8 +123,11 @@ inline void ConfigureScaled(BenchEnv* env) {
 /// HNDP_SEED from the environment.
 inline std::unique_ptr<BenchEnv> MakeJobEnv(double default_scale = 0.001) {
   auto env = std::make_unique<BenchEnv>();
-  env->scale = default_scale;
-  if (const char* s = std::getenv("HNDP_SCALE")) env->scale = atof(s);
+  env->scale = EnvDouble("HNDP_SCALE", default_scale, /*require_positive=*/true);
+  if (const char* s = std::getenv("HNDP_TRACE"); s != nullptr && *s != '\0') {
+    env->trace_path = s;
+    env->trace = std::make_unique<obs::TraceRecorder>();
+  }
   ConfigureScaled(env.get());
 
   env->storage = std::make_unique<lsm::VirtualStorage>(&env->hw);
@@ -76,7 +139,7 @@ inline std::unique_ptr<BenchEnv> MakeJobEnv(double default_scale = 0.001) {
 
   job::JobDataOptions data_opts;
   data_opts.scale = env->scale;
-  if (const char* s = std::getenv("HNDP_SEED")) data_opts.seed = atoll(s);
+  data_opts.seed = EnvInt64("HNDP_SEED", data_opts.seed);
   Status st = job::BuildJobDatabase(env->catalog.get(), data_opts);
   if (!st.ok()) {
     fprintf(stderr, "failed to build JOB database: %s\n",
@@ -88,9 +151,8 @@ inline std::unique_ptr<BenchEnv> MakeJobEnv(double default_scale = 0.001) {
   env->executor = std::make_unique<hybrid::HybridExecutor>(
       env->catalog.get(), env->storage.get(), &env->hw, env->planner_config);
 
-  int threads = common::ThreadPool::DefaultThreads();
-  if (const char* s = std::getenv("HNDP_THREADS")) threads = atoi(s);
-  env->pool = std::make_unique<common::ThreadPool>(threads);
+  env->pool = std::make_unique<common::ThreadPool>(
+      EnvThreads("HNDP_THREADS", common::ThreadPool::DefaultThreads()));
 
   uint64_t rows = 0, bytes = 0;
   for (auto* t : env->catalog->tables()) {
@@ -118,7 +180,7 @@ inline Result<hybrid::RunResult> RunChoice(BenchEnv* env,
                                            const hybrid::Plan& plan,
                                            const hybrid::ExecChoice& choice) {
   lsm::BlockCache cache(HostCacheBytes(env));
-  return env->executor->Run(plan, choice, &cache);
+  return env->executor->Run(plan, choice, &cache, env->trace.get());
 }
 
 /// Run one query under many choices, fanned over the env's worker pool.
@@ -128,10 +190,34 @@ inline std::vector<Result<hybrid::RunResult>> RunAllChoices(
     BenchEnv* env, const hybrid::Plan& plan,
     const std::vector<hybrid::ExecChoice>& choices) {
   const uint64_t cache_bytes = HostCacheBytes(env);
-  return env->executor->RunAll(plan, choices, env->pool.get(), [cache_bytes] {
-    return std::make_unique<lsm::BlockCache>(cache_bytes);
-  });
+  return env->executor->RunAll(
+      plan, choices, env->pool.get(),
+      [cache_bytes] { return std::make_unique<lsm::BlockCache>(cache_bytes); },
+      env->trace.get());
 }
+
+/// Flush the HNDP_TRACE artifacts: the Chrome trace_event JSON at the
+/// configured path plus a flat metrics dump at `<path>.metrics.json`.
+/// No-op when tracing is off. Runs again at env destruction; the LSM/cache
+/// tallies are gauge-style counters, so re-export never double-counts.
+inline void ExportTrace(BenchEnv* env) {
+  if (env->trace == nullptr || env->trace_path.empty()) return;
+  if (env->db != nullptr) env->db->ExportMetrics(env->trace->metrics());
+  if (!obs::WriteFile(env->trace_path, env->trace->ToChromeJson())) {
+    fprintf(stderr, "# failed to write trace to %s\n",
+            env->trace_path.c_str());
+    return;
+  }
+  const std::string metrics_path = env->trace_path + ".metrics.json";
+  if (!obs::WriteFile(metrics_path, env->trace->MetricsJson())) {
+    fprintf(stderr, "# failed to write metrics to %s\n", metrics_path.c_str());
+    return;
+  }
+  fprintf(stderr, "# trace: %s  metrics: %s\n", env->trace_path.c_str(),
+          metrics_path.c_str());
+}
+
+inline BenchEnv::~BenchEnv() { ExportTrace(this); }
 
 /// Plan a JOB query by id string like "8c".
 inline Result<hybrid::Plan> PlanJob(BenchEnv* env, int group, char variant) {
@@ -142,6 +228,20 @@ inline Result<hybrid::Plan> PlanJob(BenchEnv* env, int group, char variant) {
 
 inline void PrintRule() {
   printf("------------------------------------------------------------\n");
+}
+
+/// Destination for a machine-readable bench summary (HNDP_BENCH_JSON=<path>);
+/// empty = disabled.
+inline std::string BenchJsonPath() {
+  const char* s = std::getenv("HNDP_BENCH_JSON");
+  return s != nullptr ? std::string(s) : std::string();
+}
+
+/// Append `"key": <num>` with enough digits to round-trip a double.
+inline void AppendJsonNum(std::string* out, const char* key, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "\"%s\": %.17g", key, v);
+  *out += buf;
 }
 
 }  // namespace hybridndp::bench

@@ -9,6 +9,7 @@
 // in parallel with near-zero further host waits; memcmp dominates the
 // device profile.
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -17,6 +18,48 @@ using namespace hybridndp;
 using namespace hybridndp::bench;
 using hybrid::ExecChoice;
 using hybrid::Strategy;
+
+namespace {
+
+/// Check that the recorded host-track spans tile the simulated timeline:
+/// per-category span totals must match the Table-4 stage accounting, and
+/// the categories together must sum to total_ns. Returns false (and prints
+/// the offending category) on mismatch beyond FP-reassociation noise.
+bool CheckStageSpans(const obs::TraceRecorder& rec,
+                     const hybrid::RunResult& r) {
+  const int track = r.trace_host_track;
+  const hybrid::StageTimes& st = r.host_stages;
+  const struct {
+    const char* cat;
+    SimNanos want;
+  } cats[] = {
+      {"setup", st.ndp_setup},
+      {"wait", st.initial_wait + st.later_waits},
+      {"transfer", st.result_transfer},
+      {"processing", st.processing},
+  };
+  bool ok = true;
+  SimNanos sum = 0;
+  for (const auto& c : cats) {
+    const SimNanos got = rec.CategoryTotal(track, c.cat);
+    sum += got;
+    const double tol = 1e-9 * std::max(1.0, std::abs(c.want));
+    if (std::abs(got - c.want) > tol) {
+      fprintf(stderr, "trace check FAILED: category '%s' spans sum to %.3f "
+              "ns, stage accounting says %.3f ns\n", c.cat, got, c.want);
+      ok = false;
+    }
+  }
+  const double tol = 1e-9 * std::max(1.0, std::abs(r.total_ns));
+  if (std::abs(sum - r.total_ns) > tol) {
+    fprintf(stderr, "trace check FAILED: stage spans sum to %.3f ns, run "
+            "total is %.3f ns\n", sum, r.total_ns);
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
 
 int main() {
   auto env = MakeJobEnv();
@@ -31,9 +74,14 @@ int main() {
   // device PQEP streams intermediate results into the running host PQEP.
   hybrid::RunResult best;
   double best_t = -1;
+  std::string splits_json;
   for (int k = 1; k <= plan->num_tables() - 2; ++k) {
     auto r = RunChoice(env.get(), *plan, {Strategy::kHybrid, k});
     if (!r.ok()) continue;
+    if (!splits_json.empty()) splits_json += ", ";
+    splits_json += "{\"choice\": \"" + r->choice.ToString() + "\", ";
+    AppendJsonNum(&splits_json, "total_ms", r->total_ms());
+    splits_json += "}";
     if (best_t < 0 || r->total_ms() < best_t) {
       best_t = r->total_ms();
       best = std::move(*r);
@@ -68,5 +116,57 @@ int main() {
   printf("host waits:   %.2f ms (%.1f%% of total; paper: initial wait\n"
          "              dominates, later waits ~0.01%%)\n",
          host_waits, 100.0 * host_waits / best.total_ms());
-  return 0;
+
+  // With HNDP_TRACE set, verify the recorded spans against the stage
+  // accounting (the PR's acceptance invariant).
+  bool trace_ok = true;
+  if (env->trace != nullptr && best.trace_host_track >= 0) {
+    trace_ok = CheckStageSpans(*env->trace, best);
+    printf("\ntrace check (%s): stage spans tile [0, total] %s\n",
+           best.choice.ToString().c_str(), trace_ok ? "OK" : "FAILED");
+  }
+
+  if (const std::string path = BenchJsonPath(); !path.empty()) {
+    std::string j = "{\n  \"bench\": \"fig17_timeline\", \"query\": \"8d\",\n";
+    j += "  \"best\": {\"choice\": \"" + best.choice.ToString() + "\", ";
+    AppendJsonNum(&j, "total_ms", best.total_ms());
+    j += ", ";
+    AppendJsonNum(&j, "num_batches", best.num_batches);
+    j += ", ";
+    AppendJsonNum(&j, "device_rows", static_cast<double>(best.device_rows));
+    j += ", ";
+    AppendJsonNum(&j, "transferred_bytes",
+                  static_cast<double>(best.transferred_bytes));
+    j += ",\n    \"stages_ms\": {";
+    AppendJsonNum(&j, "ndp_setup", best.host_stages.ndp_setup / kNanosPerMilli);
+    j += ", ";
+    AppendJsonNum(&j, "initial_wait",
+                  best.host_stages.initial_wait / kNanosPerMilli);
+    j += ", ";
+    AppendJsonNum(&j, "later_waits",
+                  best.host_stages.later_waits / kNanosPerMilli);
+    j += ", ";
+    AppendJsonNum(&j, "result_transfer",
+                  best.host_stages.result_transfer / kNanosPerMilli);
+    j += ", ";
+    AppendJsonNum(&j, "processing",
+                  best.host_stages.processing / kNanosPerMilli);
+    j += "},\n    ";
+    AppendJsonNum(&j, "device_busy_ms", best.device_busy_ns / kNanosPerMilli);
+    j += ", ";
+    AppendJsonNum(&j, "device_stall_ms",
+                  best.device_stall_ns / kNanosPerMilli);
+    j += "},\n  \"splits\": [" + splits_json + "],\n";
+    j += "  \"trace_check\": " +
+         std::string(env->trace == nullptr
+                         ? "null"
+                         : trace_ok ? "\"ok\"" : "\"failed\"") +
+         "\n}\n";
+    if (!obs::WriteFile(path, j)) {
+      fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    fprintf(stderr, "# bench json: %s\n", path.c_str());
+  }
+  return trace_ok ? 0 : 1;
 }

@@ -27,10 +27,15 @@ int main() {
          "xfer KiB", "total ms", "host wait ms", "dev stall ms");
   PrintRule();
 
+  std::string rows_json;
   auto show = [&](const char* name, ExecChoice choice) {
     auto r = RunChoice(env.get(), *plan, choice);
+    if (!rows_json.empty()) rows_json += ",\n    ";
     if (!r.ok()) {
       printf("%-10s (%s)\n", name, r.status().ToString().c_str());
+      rows_json += "{\"split\": \"" + std::string(name) +
+                   "\", \"error\": \"" +
+                   obs::JsonEscape(r.status().ToString()) + "\"}";
       return;
     }
     printf("%-10s %14llu %14.1f %12.2f %12.2f %12.2f\n", name,
@@ -39,6 +44,25 @@ int main() {
            (r->host_stages.initial_wait + r->host_stages.later_waits) /
                kNanosPerMilli,
            r->device_stall_ns / kNanosPerMilli);
+    rows_json += "{\"split\": \"" + std::string(name) + "\", ";
+    AppendJsonNum(&rows_json, "interm_rows",
+                  static_cast<double>(r->device_rows));
+    rows_json += ", ";
+    AppendJsonNum(&rows_json, "xfer_bytes",
+                  static_cast<double>(r->transferred_bytes));
+    rows_json += ", ";
+    AppendJsonNum(&rows_json, "total_ms", r->total_ms());
+    rows_json += ", ";
+    AppendJsonNum(&rows_json, "host_wait_ms",
+                  (r->host_stages.initial_wait + r->host_stages.later_waits) /
+                      kNanosPerMilli);
+    rows_json += ", ";
+    AppendJsonNum(&rows_json, "dev_stall_ms",
+                  r->device_stall_ns / kNanosPerMilli);
+    rows_json += ", ";
+    AppendJsonNum(&rows_json, "result_rows",
+                  static_cast<double>(r->result_rows()));
+    rows_json += "}";
   };
 
   show("host-only", {Strategy::kHostBlk, 0});
@@ -52,5 +76,16 @@ int main() {
   printf("paper shape: execution time tracks the size of the intermediate\n"
          "result set shipped at the split point; the best split keeps it\n"
          "small while still offloading early size reduction.\n");
+
+  if (const std::string path = BenchJsonPath(); !path.empty()) {
+    std::string j =
+        "{\n  \"bench\": \"table3_intermediates\", \"query\": \"17b\",\n"
+        "  \"rows\": [\n    " + rows_json + "\n  ]\n}\n";
+    if (!obs::WriteFile(path, j)) {
+      fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    fprintf(stderr, "# bench json: %s\n", path.c_str());
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -65,6 +66,13 @@ class Operator {
   virtual Status Rewind() = 0;
 
   virtual std::string Describe() const = 0;
+
+  /// Visit each direct child (observability traversal of a finished PQEP —
+  /// e.g. per-operator rows-produced aggregates). Leaves visit nothing.
+  virtual void ForEachChild(
+      const std::function<void(const Operator&)>& fn) const {
+    (void)fn;
+  }
 
   uint64_t rows_produced() const { return rows_produced_; }
 
@@ -184,6 +192,10 @@ class FilterOp final : public Operator {
   bool Next(std::string* row) override;
   Status Rewind() override;
   std::string Describe() const override;
+  void ForEachChild(
+      const std::function<void(const Operator&)>& fn) const override {
+    fn(*child_);
+  }
 
  private:
   OperatorPtr child_;
@@ -202,6 +214,10 @@ class ProjectOp final : public Operator {
   bool Next(std::string* row) override;
   Status Rewind() override;
   std::string Describe() const override;
+  void ForEachChild(
+      const std::function<void(const Operator&)>& fn) const override {
+    fn(*child_);
+  }
 
  private:
   OperatorPtr child_;
@@ -224,6 +240,11 @@ class NestedLoopJoinOp final : public Operator {
   bool Next(std::string* row) override;
   Status Rewind() override;
   std::string Describe() const override { return "NLJ"; }
+  void ForEachChild(
+      const std::function<void(const Operator&)>& fn) const override {
+    fn(*outer_);
+    fn(*inner_);
+  }
 
  private:
   Status BindKeys();
@@ -254,6 +275,11 @@ class BlockNLJoinOp final : public Operator {
   bool Next(std::string* row) override;
   Status Rewind() override;
   std::string Describe() const override { return "BNLJ"; }
+  void ForEachChild(
+      const std::function<void(const Operator&)>& fn) const override {
+    fn(*outer_);
+    fn(*inner_);
+  }
 
   uint64_t blocks_used() const { return blocks_; }
 
@@ -298,6 +324,10 @@ class BlockNLIndexJoinOp final : public Operator {
   bool Next(std::string* row) override;
   Status Rewind() override;
   std::string Describe() const override;
+  void ForEachChild(
+      const std::function<void(const Operator&)>& fn) const override {
+    fn(*outer_);
+  }
 
   uint64_t index_lookups() const { return lookups_; }
 
@@ -347,6 +377,11 @@ class GraceHashJoinOp final : public Operator {
   bool Next(std::string* row) override;
   Status Rewind() override;
   std::string Describe() const override { return "GHJ"; }
+  void ForEachChild(
+      const std::function<void(const Operator&)>& fn) const override {
+    fn(*left_);
+    fn(*right_);
+  }
 
  private:
   Status Partition();
@@ -392,6 +427,10 @@ class GroupByAggOp final : public Operator {
   bool Next(std::string* row) override;
   Status Rewind() override;
   std::string Describe() const override { return "GroupByAgg"; }
+  void ForEachChild(
+      const std::function<void(const Operator&)>& fn) const override {
+    fn(*child_);
+  }
 
  private:
   struct AggState {

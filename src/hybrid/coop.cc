@@ -35,6 +35,13 @@ BatchSchedule::BatchSchedule(std::vector<ndp::DeviceBatch> batches,
   fetched_.assign(batches_.size(), -1.0);
 }
 
+void BatchSchedule::AttachTrace(obs::TraceRecorder* rec, int host_track,
+                                int device_track) {
+  rec_ = rec;
+  host_track_ = host_track;
+  device_track_ = device_track;
+}
+
 void BatchSchedule::ComputeDoneThrough(size_t i) {
   while (computed_ <= i && computed_ < batches_.size()) {
     const size_t j = computed_;
@@ -46,9 +53,18 @@ void BatchSchedule::ComputeDoneThrough(size_t i) {
       if (slot_free > begin) {
         device_stall_ += slot_free - begin;
         begin = slot_free;
+        if (rec_ != nullptr) {
+          rec_->Span(device_track_, "slot stall", "stall", prev, begin);
+        }
       }
     }
     done_[j] = begin + batches_[j].work_ns;
+    if (rec_ != nullptr) {
+      rec_->Span(device_track_, "batch " + std::to_string(j), "produce",
+                 begin, done_[j],
+                 {obs::TraceArg::Num("rows", batches_[j].rows),
+                  obs::TraceArg::Num("bytes", batches_[j].bytes)});
+    }
     ++computed_;
   }
 }
@@ -56,7 +72,14 @@ void BatchSchedule::ComputeDoneThrough(size_t i) {
 SimNanos BatchSchedule::Fetch(size_t i, SimNanos host_now,
                               StageTimes* stages) {
   if (i >= batches_.size()) return host_now;
-  if (fetched_[i] >= 0) return host_now;  // replay from host memory
+  if (fetched_[i] >= 0) {
+    // Replay from host memory: no new wait/transfer, but the data cannot be
+    // observed before it first arrived. The host clock is monotone and was
+    // advanced to fetched_[i] when the batch first arrived, so host_now >=
+    // fetched_[i] always holds for well-formed consumers; the clamp makes
+    // the invariant unconditional for a rewound consumer with a bogus clock.
+    return host_now >= fetched_[i] ? host_now : fetched_[i];
+  }
   ComputeDoneThrough(i);
 
   const SimNanos wait = done_[i] > host_now ? done_[i] - host_now : 0;
@@ -67,11 +90,23 @@ SimNanos BatchSchedule::Fetch(size_t i, SimNanos host_now,
       stages->later_waits += wait;
     }
   }
+  if (rec_ != nullptr && wait > 0) {
+    rec_->Span(host_track_,
+               first_fetch_done_ ? "wait (later)" : "wait (initial)", "wait",
+               host_now, host_now + wait,
+               {obs::TraceArg::Num("batch", static_cast<uint64_t>(i))});
+  }
   first_fetch_done_ = true;
 
   const SimNanos transfer = hw_->pcie.TransferTime(batches_[i].bytes);
   if (stages != nullptr) stages->result_transfer += transfer;
-  const SimNanos arrival = (host_now > done_[i] ? host_now : done_[i]) + transfer;
+  const SimNanos ready = host_now > done_[i] ? host_now : done_[i];
+  const SimNanos arrival = ready + transfer;
+  if (rec_ != nullptr && transfer > 0) {
+    rec_->Span(host_track_, "transfer batch " + std::to_string(i), "transfer",
+               ready, arrival,
+               {obs::TraceArg::Num("bytes", batches_[i].bytes)});
+  }
   fetched_[i] = arrival;
   return arrival;
 }

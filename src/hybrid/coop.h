@@ -11,6 +11,7 @@
 
 #include "exec/operator.h"
 #include "ndp/device_executor.h"
+#include "obs/trace.h"
 #include "sim/cost.h"
 
 namespace hybridndp::hybrid {
@@ -41,6 +42,13 @@ class BatchSchedule {
   BatchSchedule(std::vector<ndp::DeviceBatch> batches, int shared_slots,
                 const sim::HwParams* hw, SimNanos start_time, bool eager);
 
+  /// Route span recording for this schedule's timeline: host wait/transfer
+  /// intervals onto `host_track`, device batch-production and slot-stall
+  /// intervals onto `device_track`. Call before the first Fetch; a null
+  /// `rec` (the default state) is the zero-overhead path — Fetch then runs
+  /// the exact same simulation statements and only skips recording.
+  void AttachTrace(obs::TraceRecorder* rec, int host_track, int device_track);
+
   /// Host requests batch `i` at host-clock `host_now`; returns the time the
   /// batch data is fully in host memory. Records wait/transfer attribution
   /// into `stages` (initial vs later waits).
@@ -67,6 +75,9 @@ class BatchSchedule {
   size_t computed_ = 0;
   SimNanos device_stall_ = 0;
   bool first_fetch_done_ = false;
+  obs::TraceRecorder* rec_ = nullptr;  ///< null = recording disabled
+  int host_track_ = -1;
+  int device_track_ = -1;
 };
 
 /// Volcano source over device-produced rows that stalls the host clock
@@ -91,9 +102,8 @@ class StallingSourceOp final : public exec::Operator {
   sim::AccessContext* host_ctx_;
   StageTimes* stages_;
   size_t pos_ = 0;
-  size_t next_batch_ = 0;       ///< next batch to fetch
+  size_t next_batch_ = 0;  ///< next batch to fetch
   uint64_t batch_rows_left_ = 0;
-  size_t fetched_batches_ = 0;  ///< high-water mark across rewinds
 };
 
 }  // namespace hybridndp::hybrid

@@ -35,6 +35,46 @@ Plan ClonePlanExprs(const Plan& plan) {
   return copy;
 }
 
+/// Label for one run's tracks and metric prefixes. The cache-format
+/// override is part of the identity (Table-3 benches run the same choice
+/// under both formats), so runs never share a metric prefix within one
+/// RunAll fan-out.
+std::string RunLabel(const ExecChoice& choice) {
+  std::string label = choice.ToString();
+  if (choice.cache_format != 0) {
+    label += "/cf" + std::to_string(choice.cache_format);
+  }
+  return label;
+}
+
+/// Preorder walk of a finished PQEP recording rows-produced per operator as
+/// gauge counters `<label>.op_rows.<idx> <Describe>`. The index keeps
+/// duplicate operator names (e.g. two BNLJ stages) distinct and encodes the
+/// deterministic preorder position.
+void RecordOperatorRows(obs::MetricsRegistry* metrics, const std::string& label,
+                        const exec::Operator& root) {
+  size_t idx = 0;
+  const std::function<void(const exec::Operator&)> visit =
+      [&](const exec::Operator& op) {
+        metrics
+            ->counter(label + ".op_rows." + std::to_string(idx++) + " " +
+                      op.Describe())
+            ->Set(op.rows_produced());
+        op.ForEachChild(visit);
+      };
+  visit(root);
+}
+
+/// End-of-run metric export common to all strategies: per-operator row
+/// gauges and (when a host cache was used) block-cache tallies.
+void ExportRunMetrics(obs::TraceRecorder* rec, const std::string& label,
+                      const exec::Operator& root,
+                      const lsm::BlockCache* cache) {
+  if (rec == nullptr) return;
+  RecordOperatorRows(rec->metrics(), label, root);
+  if (cache != nullptr) cache->ExportMetrics(rec->metrics(), label + ".cache");
+}
+
 }  // namespace
 
 std::vector<ExecChoice> HybridExecutor::AllChoices(const Plan& plan) {
@@ -124,7 +164,8 @@ Result<exec::OperatorPtr> HybridExecutor::BuildHostSuffix(
 
 Result<RunResult> HybridExecutor::RunHostOnly(const Plan& plan,
                                               const ExecChoice& choice,
-                                              lsm::BlockCache* cache) const {
+                                              lsm::BlockCache* cache,
+                                              obs::TraceRecorder* rec) const {
   const sim::IoPath path = choice.strategy == Strategy::kHostBlk
                                ? sim::IoPath::kBlk
                                : sim::IoPath::kNative;
@@ -143,6 +184,15 @@ Result<RunResult> HybridExecutor::RunHostOnly(const Plan& plan,
   result.host_counters = ctx.counters();
   result.host_stages.processing = ctx.counters().TotalTime();
   result.total_ns = ctx.now();
+  if (rec != nullptr) {
+    const std::string label = RunLabel(choice);
+    result.trace_host_track = rec->NewTrack(label + " [host]");
+    // Host-only runs have a single Table-4 stage: everything is processing.
+    rec->Span(result.trace_host_track, "processing", "processing", 0,
+              result.total_ns,
+              {obs::TraceArg::Num("rows", result.result_rows())});
+    ExportRunMetrics(rec, label, *root, cache);
+  }
   return result;
 }
 
@@ -198,14 +248,17 @@ nkv::NdpCommand HybridExecutor::BuildNdpCommand(const Plan& plan,
 }
 
 Result<RunResult> HybridExecutor::RunDeviceAssisted(
-    const Plan& plan, const ExecChoice& choice, lsm::BlockCache* cache) const {
+    const Plan& plan, const ExecChoice& choice, lsm::BlockCache* cache,
+    obs::TraceRecorder* rec) const {
   const bool full_ndp = choice.strategy == Strategy::kFullNdp;
   const int k = choice.split_joins;
 
   nkv::NdpCommand cmd =
       BuildNdpCommand(plan, k, full_ndp, choice.cache_format);
   ndp::DeviceExecutor device(storage_, hw_);
-  HNDP_ASSIGN_OR_RETURN(ndp::DeviceRunResult dev, device.Execute(cmd));
+  HNDP_ASSIGN_OR_RETURN(
+      ndp::DeviceRunResult dev,
+      device.Execute(cmd, rec != nullptr ? rec->metrics() : nullptr));
 
   RunResult result;
   result.choice = choice;
@@ -216,10 +269,20 @@ Result<RunResult> HybridExecutor::RunDeviceAssisted(
   result.num_batches = static_cast<int>(dev.batches.size());
   result.pointer_cache = dev.pointer_cache;
 
+  const std::string label = rec != nullptr ? RunLabel(choice) : std::string();
+  int host_track = -1;
+  if (rec != nullptr) {
+    host_track = rec->NewTrack(label + " [host]");
+    result.trace_host_track = host_track;
+  }
+
   sim::AccessContext host_ctx(hw_, sim::Actor::kHost, sim::IoPath::kNative);
   StageTimes& stages = result.host_stages;
   stages.ndp_setup = kNdpSetupNs;
   host_ctx.ChargeLatency(kNdpSetupNs);
+  if (rec != nullptr) {
+    rec->Span(host_track, "ndp setup", "setup", 0, kNdpSetupNs);
+  }
 
   // Build batch schedules. Pipelined plans have one stream with slot
   // back-pressure; H0 ships every leaf stream eagerly into host memory.
@@ -241,10 +304,21 @@ Result<RunResult> HybridExecutor::RunDeviceAssisted(
     per_stream[0] = dev.batches;
   }
   std::vector<std::unique_ptr<BatchSchedule>> schedules;
-  for (auto& batches : per_stream) {
+  for (size_t s = 0; s < per_stream.size(); ++s) {
     schedules.push_back(std::make_unique<BatchSchedule>(
-        std::move(batches), cmd.buffers.shared_slots, hw_, kNdpSetupNs,
+        std::move(per_stream[s]), cmd.buffers.shared_slots, hw_, kNdpSetupNs,
         /*eager=*/cmd.scans_only));
+    if (rec != nullptr) {
+      // One device track per stream (pipelined plans have exactly one);
+      // batch-production and slot-stall spans land there as the host's
+      // fetch order forces the lazy schedule to materialize.
+      const std::string suffix = per_stream.size() > 1
+                                     ? " [device s" + std::to_string(s) + "]"
+                                     : " [device]";
+      const int device_track = rec->NewTrack(label + suffix);
+      if (s == 0) result.trace_device_track = device_track;
+      schedules.back()->AttachTrace(rec, host_track, device_track);
+    }
   }
 
   // Assemble + run the host PQEP.
@@ -304,29 +378,40 @@ Result<RunResult> HybridExecutor::RunDeviceAssisted(
     result.device_stall_ns += schedule->device_stall();
   }
   result.total_ns = host_ctx.now();
+  if (rec != nullptr) {
+    // The host clock only moves through ChargeLatency (setup), Charge*
+    // (processing) and AdvanceTo jumps (wait + transfer, recorded by
+    // BatchSchedule::Fetch). Setup/wait/transfer spans are disjoint, so the
+    // gaps between them are exactly the processing time: the four Table-4
+    // categories tile [0, total_ns].
+    rec->GapFill(host_track, 0, result.total_ns, "processing", "processing");
+    ExportRunMetrics(rec, label, *root, cache);
+  }
   return result;
 }
 
 Result<RunResult> HybridExecutor::Run(const Plan& plan,
                                       const ExecChoice& choice,
-                                      lsm::BlockCache* cache) const {
+                                      lsm::BlockCache* cache,
+                                      obs::TraceRecorder* rec) const {
   if (plan.order.empty()) {
     return Status::InvalidArgument("empty plan");
   }
   switch (choice.strategy) {
     case Strategy::kHostBlk:
     case Strategy::kHostNative:
-      return RunHostOnly(plan, choice, cache);
+      return RunHostOnly(plan, choice, cache, rec);
     case Strategy::kFullNdp:
     case Strategy::kHybrid:
-      return RunDeviceAssisted(plan, choice, cache);
+      return RunDeviceAssisted(plan, choice, cache, rec);
   }
   return Status::InvalidArgument("bad strategy");
 }
 
 std::vector<Result<RunResult>> HybridExecutor::RunAll(
     const Plan& plan, const std::vector<ExecChoice>& choices,
-    common::ThreadPool* pool, const CacheFactory& make_cache) const {
+    common::ThreadPool* pool, const CacheFactory& make_cache,
+    obs::TraceRecorder* rec) const {
   std::vector<Result<RunResult>> results(choices.size(),
                                          Status::Internal("not run"));
   // Pre-open every SST reader with a null context so that no run's first
@@ -339,7 +424,7 @@ std::vector<Result<RunResult>> HybridExecutor::RunAll(
     const Plan run_plan = ClonePlanExprs(plan);
     std::unique_ptr<lsm::BlockCache> cache =
         make_cache ? make_cache() : nullptr;
-    results[i] = Run(run_plan, choices[i], cache.get());
+    results[i] = Run(run_plan, choices[i], cache.get(), rec);
   };
 
   if (pool == nullptr || pool->size() <= 1) {

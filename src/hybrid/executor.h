@@ -16,6 +16,7 @@
 #include "hybrid/planner.h"
 #include "lsm/block_cache.h"
 #include "ndp/device_executor.h"
+#include "obs/trace.h"
 #include "rel/table.h"
 
 namespace hybridndp::hybrid {
@@ -37,6 +38,13 @@ struct RunResult {
   int num_batches = 0;
   bool pointer_cache = false;
 
+  /// Trace track ids for this run (-1 when tracing was disabled). Track ids
+  /// are recorder bookkeeping, not simulated metrics: under a parallel
+  /// RunAll the creation order — and hence the ids — depends on thread
+  /// interleaving, so identity checks must ignore these fields.
+  int trace_host_track = -1;
+  int trace_device_track = -1;
+
   uint64_t result_rows() const { return rows.size(); }
   double total_ms() const { return total_ns / kNanosPerMilli; }
 };
@@ -49,9 +57,13 @@ class HybridExecutor {
       : catalog_(catalog), storage_(storage), hw_(hw), config_(config) {}
 
   /// Run `plan` under `choice`. `host_cache` (optional) is the host block
-  /// cache; pass a fresh cache per run for cold-start numbers.
+  /// cache; pass a fresh cache per run for cold-start numbers. `rec`
+  /// (optional) records the run's simulated timeline and metrics; a null
+  /// recorder is the zero-overhead path — the simulation statements are
+  /// identical either way, recording only reads the simulated clocks.
   Result<RunResult> Run(const Plan& plan, const ExecChoice& choice,
-                        lsm::BlockCache* host_cache = nullptr) const;
+                        lsm::BlockCache* host_cache = nullptr,
+                        obs::TraceRecorder* rec = nullptr) const;
 
   /// Factory for the per-run host block cache used by RunAll. Each run gets
   /// its own fresh cache so every strategy sees cold-start semantics and no
@@ -65,9 +77,14 @@ class HybridExecutor {
   /// cloned predicate trees — so the simulated metrics are bit-identical to
   /// running the choices one by one; only wall-clock time changes. Results
   /// are returned in choice order.
+  /// `rec`, when non-null, gets one host track (plus device tracks for
+  /// device-assisted strategies) per run; TraceRecorder is thread-safe, so
+  /// runs may record concurrently. Track ids depend on scheduling order —
+  /// span contents and metrics do not.
   std::vector<Result<RunResult>> RunAll(
       const Plan& plan, const std::vector<ExecChoice>& choices,
-      common::ThreadPool* pool, const CacheFactory& make_cache = {}) const;
+      common::ThreadPool* pool, const CacheFactory& make_cache = {},
+      obs::TraceRecorder* rec = nullptr) const;
 
   /// Convenience: every executable choice for a plan, in the order
   /// BLK, NATIVE, H0..H(n-2), NDP.
@@ -75,10 +92,12 @@ class HybridExecutor {
 
  private:
   Result<RunResult> RunHostOnly(const Plan& plan, const ExecChoice& choice,
-                                lsm::BlockCache* cache) const;
+                                lsm::BlockCache* cache,
+                                obs::TraceRecorder* rec) const;
   Result<RunResult> RunDeviceAssisted(const Plan& plan,
                                       const ExecChoice& choice,
-                                      lsm::BlockCache* cache) const;
+                                      lsm::BlockCache* cache,
+                                      obs::TraceRecorder* rec) const;
 
   /// Build the NDP command for tables [0..k] (+ joins, or scans_only).
   nkv::NdpCommand BuildNdpCommand(const Plan& plan, int split_joins,

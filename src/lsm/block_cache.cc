@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace hybridndp::lsm {
 
@@ -103,6 +104,15 @@ uint64_t BlockCache::misses() const {
     total += shard->misses;
   }
   return total;
+}
+
+void BlockCache::ExportMetrics(obs::MetricsRegistry* metrics,
+                               const std::string& prefix) const {
+  if (metrics == nullptr) return;
+  metrics->counter(prefix + ".hits")->Set(hits());
+  metrics->counter(prefix + ".misses")->Set(misses());
+  metrics->counter(prefix + ".used_bytes")->Set(used_bytes());
+  metrics->counter(prefix + ".capacity_bytes")->Set(capacity_bytes_);
 }
 
 }  // namespace hybridndp::lsm

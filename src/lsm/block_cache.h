@@ -17,10 +17,15 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "lsm/storage.h"
+
+namespace hybridndp::obs {
+class MetricsRegistry;
+}
 
 namespace hybridndp::lsm {
 
@@ -46,6 +51,12 @@ class BlockCache {
   uint64_t hits() const;
   uint64_t misses() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Snapshot hit/miss/residency gauges into `metrics` as
+  /// `<prefix>.hits|misses|used_bytes|capacity_bytes` (Set semantics:
+  /// re-exporting overwrites, so end-of-run exports never double-count).
+  void ExportMetrics(obs::MetricsRegistry* metrics,
+                     const std::string& prefix) const;
 
   static constexpr int kDefaultShards = 16;
   static constexpr uint64_t kShardedCapacityMin = 4ull << 20;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "lsm/merge_iterator.h"
+#include "obs/metrics.h"
 
 namespace hybridndp::lsm {
 
@@ -319,6 +320,44 @@ void DB::OpenAllReaders() const {
     }
   }
   readers_sealed_.store(true, std::memory_order_release);
+}
+
+void DB::ExportMetrics(obs::MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->counter("lsm.db.flushes")->Set(stats_.flushes);
+  metrics->counter("lsm.db.compactions")->Set(stats_.compactions);
+  metrics->counter("lsm.db.compacted_bytes")->Set(stats_.compacted_bytes);
+  uint64_t files = 0, file_bytes = 0, entries = 0;
+  for (const auto& cf : cfs_) {
+    for (const auto& level : cf->version.levels) {
+      files += level.size();
+      for (const auto& meta : level) {
+        file_bytes += meta.file_size;
+        entries += meta.num_entries;
+      }
+    }
+  }
+  metrics->counter("lsm.db.live_files")->Set(files);
+  metrics->counter("lsm.db.live_file_bytes")->Set(file_bytes);
+  metrics->counter("lsm.db.live_entries")->Set(entries);
+
+  uint64_t block_reads = 0, block_read_bytes = 0, cache_hits = 0,
+           index_loads = 0;
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (const auto& [id, reader] : readers_) {
+      (void)id;
+      const SstReadStats& rs = reader->read_stats();
+      block_reads += rs.block_reads.load(std::memory_order_relaxed);
+      block_read_bytes += rs.block_read_bytes.load(std::memory_order_relaxed);
+      cache_hits += rs.block_cache_hits.load(std::memory_order_relaxed);
+      index_loads += rs.index_loads.load(std::memory_order_relaxed);
+    }
+  }
+  metrics->counter("lsm.sst.block_reads")->Set(block_reads);
+  metrics->counter("lsm.sst.block_read_bytes")->Set(block_read_bytes);
+  metrics->counter("lsm.sst.block_cache_hits")->Set(cache_hits);
+  metrics->counter("lsm.sst.index_loads")->Set(index_loads);
 }
 
 const Version& DB::GetVersion(ColumnFamilyId cf) const {

@@ -22,6 +22,10 @@
 #include "lsm/storage.h"
 #include "sim/cost.h"
 
+namespace hybridndp::obs {
+class MetricsRegistry;
+}
+
 namespace hybridndp::lsm {
 
 /// Per-read options: snapshot visibility, cost context, cache, pruning.
@@ -128,6 +132,11 @@ class DB {
     uint64_t compacted_bytes = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Snapshot DB-level gauges plus the aggregated SstReadStats of every
+  /// instantiated reader into `metrics` under "lsm.*" (Set semantics —
+  /// repeat exports overwrite rather than double-count).
+  void ExportMetrics(obs::MetricsRegistry* metrics) const;
 
  private:
   struct ColumnFamily {

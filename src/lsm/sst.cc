@@ -127,6 +127,7 @@ Status SstReader::EnsureOpened(sim::AccessContext* ctx, BlockCache* cache) {
       if (cache != nullptr) cache->Insert(meta_.file_id, index_off, index_sz + bloom_sz);
     }
   }
+  read_stats_.index_loads.fetch_add(1, std::memory_order_relaxed);
   index_contents_ = Slice(contents->data() + index_off, index_sz);
   index_block_ = std::make_unique<BlockReader>(index_contents_);
   bloom_data_.assign(contents->data() + bloom_off, bloom_sz);
@@ -149,7 +150,11 @@ Result<Slice> SstReader::ReadBlock(sim::AccessContext* ctx, BlockCache* cache,
       auto rd = storage_->Read(ctx, meta_.file_id, offset, size, sequential);
       if (!rd.ok()) return rd.status();
       if (cache != nullptr) cache->Insert(meta_.file_id, offset, size);
+    } else {
+      read_stats_.block_cache_hits.fetch_add(1, std::memory_order_relaxed);
     }
+    read_stats_.block_reads.fetch_add(1, std::memory_order_relaxed);
+    read_stats_.block_read_bytes.fetch_add(size, std::memory_order_relaxed);
   }
   return Slice(contents->data() + offset, size);
 }

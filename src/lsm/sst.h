@@ -81,6 +81,17 @@ class SstBuilder {
   bool data_pending_ = false;
 };
 
+/// Cumulative read-side tallies of one SstReader. Relaxed atomics: readers
+/// are shared across concurrent runs, and the counts are observability-only
+/// (exported via DB::ExportMetrics) — they never feed the cost model, so
+/// they cannot perturb any simulated clock.
+struct SstReadStats {
+  std::atomic<uint64_t> block_reads{0};       ///< data blocks fetched
+  std::atomic<uint64_t> block_read_bytes{0};  ///< bytes of those blocks
+  std::atomic<uint64_t> block_cache_hits{0};  ///< block reads a cache absorbed
+  std::atomic<uint64_t> index_loads{0};       ///< index+bloom decode loads
+};
+
 /// Read-side access to one SST. Readers are cheap to construct; the index
 /// block and bloom filter are decoded lazily on first use and their loads
 /// are charged to the providing context. Once opened, a reader is immutable
@@ -111,6 +122,8 @@ class SstReader {
   /// True if `user_key` is outside [smallest, largest] (fence pointer check).
   bool OutsideKeyRange(const Slice& user_key) const;
 
+  const SstReadStats& read_stats() const { return read_stats_; }
+
  private:
   class TwoLevelIter;
 
@@ -126,6 +139,7 @@ class SstReader {
   std::unique_ptr<BlockReader> index_block_;
   std::string bloom_data_;
   std::unique_ptr<BloomFilter> bloom_;
+  mutable SstReadStats read_stats_;
 };
 
 /// Decode an index-block value into (offset, size).

@@ -42,7 +42,8 @@ exec::OperatorPtr DeviceExecutor::BuildScan(const NdpTableAccess& access,
                                              access.projection);
 }
 
-Result<DeviceRunResult> DeviceExecutor::Execute(const NdpCommand& cmd) const {
+Result<DeviceRunResult> DeviceExecutor::Execute(
+    const NdpCommand& cmd, obs::MetricsRegistry* metrics) const {
   HNDP_RETURN_IF_ERROR(CheckResources(cmd));
 
   DeviceRunResult result;
@@ -168,6 +169,27 @@ Result<DeviceRunResult> DeviceExecutor::Execute(const NdpCommand& cmd) const {
 
   result.counters = ctx.counters();
   result.total_work_ns = ctx.now();
+
+  if (metrics != nullptr) {
+    metrics->counter("ndp.invocations")->Add(1);
+    metrics->counter("ndp.tables")->Add(cmd.tables.size());
+    metrics->counter("ndp.result_rows")->Add(result.total_rows());
+    metrics->counter("ndp.result_bytes")->Add(result.total_bytes());
+    metrics->counter("ndp.batches")->Add(result.batches.size());
+    if (result.pointer_cache) metrics->counter("ndp.pointer_cache_runs")->Add(1);
+    obs::Histogram* batch_rows = metrics->histogram("ndp.batch_rows");
+    obs::Histogram* batch_bytes = metrics->histogram("ndp.batch_bytes");
+    for (const auto& b : result.batches) {
+      batch_rows->Record(static_cast<double>(b.rows));
+      batch_bytes->Record(static_cast<double>(b.bytes));
+    }
+    for (int i = 0; i < sim::kNumCostKinds; ++i) {
+      const auto kind = static_cast<sim::CostKind>(i);
+      if (result.counters.Units(kind) == 0) continue;
+      metrics->counter(std::string("ndp.op_units.") + sim::CostKindName(kind))
+          ->Add(result.counters.Units(kind));
+    }
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "exec/operator.h"
 #include "lsm/block_cache.h"
 #include "nkv/ndp_command.h"
+#include "obs/metrics.h"
 #include "sim/cost.h"
 
 namespace hybridndp::ndp {
@@ -61,7 +62,12 @@ class DeviceExecutor {
       : storage_(storage), hw_(hw) {}
 
   /// Validate resources, build the pipeline, run it to completion.
-  Result<DeviceRunResult> Execute(const nkv::NdpCommand& cmd) const;
+  /// `metrics`, when non-null, receives device-side observability tallies
+  /// (invocations, result rows/bytes, batch-size histograms, Table-4
+  /// counters). Recording is passive — it never touches a simulated clock.
+  Result<DeviceRunResult> Execute(const nkv::NdpCommand& cmd,
+                                  obs::MetricsRegistry* metrics = nullptr)
+      const;
 
   /// Memory check only (used by the planner to cap split depth).
   Status CheckResources(const nkv::NdpCommand& cmd) const;

@@ -1,0 +1,97 @@
+// Observability: thread-safe metrics registry (counters + histograms).
+//
+// Production NDP systems treat the execution breakdown as a first-class
+// observable (Taurus logs per-operator pushdown timings, Conduit's scheduler
+// consumes per-resource utilization telemetry — see PAPERS.md). This module
+// is the passive half of that layer: named counters and histograms any
+// subsystem can tally into, exported as one flat JSON document. Metrics
+// never feed back into the simulation — recording a value cannot perturb a
+// simulated clock, so tier-1 timing semantics are independent of whether a
+// registry is attached.
+//
+// Thread-safety: counters are relaxed atomics, histograms take a small
+// per-histogram mutex, and the name->metric maps are guarded by the registry
+// mutex. Lookup by name is O(log n); hot paths should hold the returned
+// Counter*/Histogram* instead of re-resolving names per event.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace hybridndp::obs {
+
+/// Escape `s` for embedding inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+/// Monotonic (or Set-overwritten) unsigned counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Overwrite with a snapshot value (gauge-style exports, e.g. cache
+  /// residency re-exported at the end of every run).
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Power-of-two-bucketed histogram of non-negative samples.
+class Histogram {
+ public:
+  /// Bucket i holds samples in [2^(i-1), 2^i); bucket 0 holds v < 1.
+  static constexpr int kNumBuckets = 48;
+
+  void Record(double v);
+
+  uint64_t count() const;
+  double sum() const;
+  double min() const;  ///< 0 when empty
+  double max() const;  ///< 0 when empty
+  double mean() const;
+
+  /// {"count":N,"sum":S,"min":m,"max":M,"buckets":{"8":n, ...}} — bucket
+  /// keys are the (exclusive) power-of-two upper bounds; empty buckets are
+  /// omitted.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::array<uint64_t, kNumBuckets> buckets_{};
+};
+
+/// Named metric registry. Metrics are created on first use and live as long
+/// as the registry; returned pointers are stable.
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Value of a counter, or 0 if it was never created (test helper).
+  uint64_t CounterValue(const std::string& name) const;
+
+  size_t num_counters() const;
+  size_t num_histograms() const;
+
+  /// {"counters":{...},"histograms":{...}} — keys sorted (std::map order),
+  /// so the export is deterministic for a given set of recordings.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hybridndp::obs

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "hybrid/executor.h"
@@ -412,6 +413,166 @@ TEST_F(HybridTest, SplitDistanceSelectsFeasibleSplit) {
   ASSERT_TRUE(plan.ok());
   EXPECT_GE(plan->recommended.split_joins, 0);
   EXPECT_LE(plan->recommended.split_joins, plan->max_feasible_split);
+}
+
+// ----------------------- BatchSchedule accounting regressions
+
+TEST(BatchScheduleTest, RewindReplayDoesNotDoubleChargeStages) {
+  HwParams hw = HwParams::PaperDefaults();
+  std::vector<ndp::DeviceBatch> batches;
+  for (int j = 0; j < 3; ++j) {
+    batches.push_back({/*stream=*/0, /*rows=*/10, /*bytes=*/1000,
+                       /*work_ns=*/50'000.0});
+  }
+  BatchSchedule sched(batches, /*shared_slots=*/4, &hw, /*start_time=*/0,
+                      /*eager=*/false);
+  StageTimes st;
+  SimNanos now = 0;
+  std::vector<SimNanos> arrivals;
+  for (size_t j = 0; j < batches.size(); ++j) {
+    now = sched.Fetch(j, now, &st);
+    arrivals.push_back(now);
+  }
+  const StageTimes first = st;
+  EXPECT_GT(first.initial_wait, 0);
+  EXPECT_GT(first.result_transfer, 0);
+
+  // Replay from host memory (join-inner Rewind): no new wait/transfer, and
+  // the host clock is untouched.
+  for (size_t j = 0; j < batches.size(); ++j) {
+    EXPECT_EQ(sched.Fetch(j, now, &st), now) << "batch " << j;
+  }
+  EXPECT_EQ(st.initial_wait, first.initial_wait);
+  EXPECT_EQ(st.later_waits, first.later_waits);
+  EXPECT_EQ(st.result_transfer, first.result_transfer);
+
+  // A rewound consumer must never observe a batch before it first arrived,
+  // even if it presents a stale clock.
+  for (size_t j = 0; j < batches.size(); ++j) {
+    EXPECT_EQ(sched.Fetch(j, /*host_now=*/0, &st), arrivals[j])
+        << "batch " << j;
+  }
+  EXPECT_EQ(st.initial_wait, first.initial_wait);
+  EXPECT_EQ(st.later_waits, first.later_waits);
+  EXPECT_EQ(st.result_transfer, first.result_transfer);
+}
+
+TEST(BatchScheduleTest, SingleSlotStallsDeviceEagerDoesNot) {
+  HwParams hw = HwParams::PaperDefaults();
+  std::vector<ndp::DeviceBatch> batches;
+  for (int j = 0; j < 4; ++j) {
+    batches.push_back({0, 10, 1000, /*work_ns=*/100'000.0});
+  }
+  BatchSchedule strict(batches, /*shared_slots=*/1, &hw, 0, /*eager=*/false);
+  BatchSchedule eager(batches, /*shared_slots=*/1, &hw, 0, /*eager=*/true);
+
+  // A slow host fetches each batch 1 ms apart: with one shared slot the
+  // device cannot start batch j+1 until batch j left the buffer.
+  StageTimes st1, st2;
+  for (size_t j = 0; j < batches.size(); ++j) {
+    strict.Fetch(j, (j + 1) * 1'000'000.0, &st1);
+    eager.Fetch(j, (j + 1) * 1'000'000.0, &st2);
+  }
+  EXPECT_GT(strict.device_stall(), 0);
+  EXPECT_EQ(eager.device_stall(), 0);
+  EXPECT_GT(strict.device_finish(), eager.device_finish());
+  // Eager (H0 leaf shipping) finishes back-to-back: start + sum(work).
+  EXPECT_DOUBLE_EQ(eager.device_finish(), 400'000.0);
+}
+
+TEST(BatchScheduleTest, EmptyBatchListFinishesAtStart) {
+  HwParams hw = HwParams::PaperDefaults();
+  const SimNanos start = 121'000.0;
+  BatchSchedule sched({}, /*shared_slots=*/4, &hw, start, /*eager=*/false);
+  EXPECT_EQ(sched.num_batches(), 0u);
+  EXPECT_DOUBLE_EQ(sched.device_finish(), start);
+  EXPECT_EQ(sched.device_stall(), 0);
+  // Out-of-range fetches are no-ops on the clock and the stages.
+  StageTimes st;
+  EXPECT_DOUBLE_EQ(sched.Fetch(0, 500'000.0, &st), 500'000.0);
+  EXPECT_EQ(st.initial_wait, 0);
+  EXPECT_EQ(st.result_transfer, 0);
+}
+
+// --------------------------------- simulated-timeline tracing
+
+TEST_F(HybridTest, TraceStageSpansTileHybridTimeline) {
+  Planner planner(&catalog_, &hw_, MakePlannerConfig());
+  auto plan = planner.PlanQuery(MakeQuery());
+  ASSERT_TRUE(plan.ok());
+  HybridExecutor executor(&catalog_, &storage_, &hw_, MakePlannerConfig());
+  obs::TraceRecorder rec;
+  lsm::BlockCache cache(64 << 20);
+  auto r = executor.Run(*plan, {Strategy::kHybrid, 1}, &cache, &rec);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->trace_host_track, 0);
+  ASSERT_GE(r->trace_device_track, 0);
+
+  const StageTimes& st = r->host_stages;
+  auto near = [](SimNanos got, SimNanos want) {
+    EXPECT_NEAR(got, want, 1e-6 * std::max(1.0, std::abs(want)));
+  };
+  const SimNanos setup = rec.CategoryTotal(r->trace_host_track, "setup");
+  const SimNanos wait = rec.CategoryTotal(r->trace_host_track, "wait");
+  const SimNanos transfer = rec.CategoryTotal(r->trace_host_track, "transfer");
+  const SimNanos processing =
+      rec.CategoryTotal(r->trace_host_track, "processing");
+  near(setup, st.ndp_setup);
+  near(wait, st.initial_wait + st.later_waits);
+  near(transfer, st.result_transfer);
+  near(processing, st.processing);
+  // The four Table-4 categories tile [0, total_ns] exactly.
+  near(setup + wait + transfer + processing, r->total_ns);
+  near(st.total(), r->total_ns);
+
+  // Device batch-production spans cover the produced batches' work.
+  const SimNanos produce =
+      rec.CategoryTotal(r->trace_device_track, "produce");
+  EXPECT_GT(produce, 0);
+  EXPECT_LE(produce, r->device_busy_ns * (1 + 1e-9));
+}
+
+TEST_F(HybridTest, TraceHostOnlyRunIsAllProcessing) {
+  Planner planner(&catalog_, &hw_, MakePlannerConfig());
+  auto plan = planner.PlanQuery(MakeQuery());
+  ASSERT_TRUE(plan.ok());
+  HybridExecutor executor(&catalog_, &storage_, &hw_, MakePlannerConfig());
+  obs::TraceRecorder rec;
+  lsm::BlockCache cache(64 << 20);
+  auto r = executor.Run(*plan, {Strategy::kHostNative, 0}, &cache, &rec);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->trace_host_track, 0);
+  EXPECT_EQ(r->trace_device_track, -1);
+  EXPECT_DOUBLE_EQ(rec.CategoryTotal(r->trace_host_track, "processing"),
+                   r->total_ns);
+  // Per-operator row gauges and host-cache tallies were exported.
+  const obs::MetricsRegistry* m = rec.metrics();
+  EXPECT_GT(m->CounterValue("NATIVE.op_rows.0 Project(3 cols)"), 0u);
+  EXPECT_GT(m->num_counters(), 0u);
+}
+
+TEST_F(HybridTest, TracingDoesNotPerturbSimulatedMetrics) {
+  Planner planner(&catalog_, &hw_, MakePlannerConfig());
+  auto plan = planner.PlanQuery(MakeQuery());
+  ASSERT_TRUE(plan.ok());
+  HybridExecutor executor(&catalog_, &storage_, &hw_, MakePlannerConfig());
+  for (const auto& choice : HybridExecutor::AllChoices(*plan)) {
+    lsm::BlockCache c1(64 << 20), c2(64 << 20);
+    obs::TraceRecorder rec;
+    auto plain = executor.Run(*plan, choice, &c1, /*rec=*/nullptr);
+    auto traced = executor.Run(*plan, choice, &c2, &rec);
+    ASSERT_TRUE(plain.ok()) << choice.ToString();
+    ASSERT_TRUE(traced.ok()) << choice.ToString();
+    SCOPED_TRACE(choice.ToString());
+    EXPECT_EQ(plain->rows, traced->rows);
+    EXPECT_EQ(plain->total_ns, traced->total_ns);  // bit-identical
+    EXPECT_EQ(plain->host_counters.units, traced->host_counters.units);
+    EXPECT_EQ(plain->host_counters.time_ns, traced->host_counters.time_ns);
+    EXPECT_EQ(plain->device_counters.units, traced->device_counters.units);
+    EXPECT_EQ(plain->device_stall_ns, traced->device_stall_ns);
+    EXPECT_EQ(plain->trace_host_track, -1);
+    EXPECT_GT(rec.num_spans(), 0u);
+  }
 }
 
 }  // namespace

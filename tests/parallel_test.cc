@@ -19,6 +19,7 @@
 #include "hybrid/planner.h"
 #include "lsm/block_cache.h"
 #include "lsm/db.h"
+#include "obs/trace.h"
 #include "rel/table.h"
 #include "sim/hw_model.h"
 
@@ -314,6 +315,45 @@ TEST_F(RunAllTest, ParallelMatchesSerialBitForBit) {
     SCOPED_TRACE(choices[i].ToString());
     ExpectIdentical(serial[i], *again[i]);
   }
+}
+
+TEST_F(RunAllTest, TracedRunAllMatchesUntracedSerialBitForBit) {
+  // The null-recorder fast path and the attached-recorder path must be the
+  // same simulation: a serial sweep with tracing off is bit-identical to a
+  // parallel RunAll recording into a shared TraceRecorder.
+  const auto cfg = MakePlannerConfig();
+  hybrid::Planner planner(&catalog_, &hw_, cfg);
+  auto plan = planner.PlanQuery(MakeQuery());
+  ASSERT_TRUE(plan.ok());
+
+  hybrid::HybridExecutor executor(&catalog_, &storage_, &hw_, cfg);
+  const auto choices = hybrid::HybridExecutor::AllChoices(*plan);
+  auto factory = [] { return std::make_unique<lsm::BlockCache>(1 << 20); };
+
+  db_.OpenAllReaders();
+  std::vector<hybrid::RunResult> serial;
+  for (const auto& choice : choices) {
+    auto cache = factory();
+    auto r = executor.Run(*plan, choice, cache.get(), /*rec=*/nullptr);
+    ASSERT_TRUE(r.ok()) << choice.ToString();
+    EXPECT_EQ(r->trace_host_track, -1);  // tracing off: no tracks assigned
+    serial.push_back(std::move(*r));
+  }
+
+  obs::TraceRecorder rec;
+  common::ThreadPool pool(4);
+  auto traced = executor.RunAll(*plan, choices, &pool, factory, &rec);
+  ASSERT_EQ(traced.size(), choices.size());
+  for (size_t i = 0; i < choices.size(); ++i) {
+    ASSERT_TRUE(traced[i].ok()) << choices[i].ToString();
+    SCOPED_TRACE(choices[i].ToString());
+    ExpectIdentical(serial[i], *traced[i]);
+    // Every traced run got its own host track (ids depend on scheduling
+    // order, so only their validity is asserted).
+    EXPECT_GE(traced[i]->trace_host_track, 0);
+  }
+  EXPECT_GE(rec.num_tracks(), choices.size());
+  EXPECT_GT(rec.num_spans(), 0u);
 }
 
 TEST_F(RunAllTest, NullPoolRunsSerially) {
