@@ -20,6 +20,16 @@ class Arena {
   /// Allocate `bytes` with natural alignment for pointers.
   char* Allocate(size_t bytes);
 
+  /// Release every block. Outstanding pointers into the arena become
+  /// dangling; callers (e.g. exec::RowBatch regrowing its row storage)
+  /// must re-establish their views afterwards.
+  void Reset() {
+    alloc_ptr_ = nullptr;
+    alloc_bytes_remaining_ = 0;
+    blocks_.clear();
+    memory_usage_ = 0;
+  }
+
   /// Total bytes reserved by the arena (capacity, not live data).
   size_t MemoryUsage() const { return memory_usage_; }
 

@@ -24,7 +24,8 @@ void PutVarint64(std::string* dst, uint64_t v) {
   dst->append(reinterpret_cast<char*>(buf), n);
 }
 
-const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value) {
+const char* GetVarint32PtrFallback(const char* p, const char* limit,
+                                   uint32_t* value) {
   uint32_t result = 0;
   for (uint32_t shift = 0; shift <= 28 && p < limit; shift += 7) {
     uint32_t byte = static_cast<unsigned char>(*p);
@@ -40,7 +41,8 @@ const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value) {
   return nullptr;
 }
 
-const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value) {
+const char* GetVarint64PtrFallback(const char* p, const char* limit,
+                                   uint64_t* value) {
   uint64_t result = 0;
   for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
     uint64_t byte = static_cast<unsigned char>(*p);

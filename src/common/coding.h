@@ -41,10 +41,38 @@ void PutVarint32(std::string* dst, uint32_t v);
 /// Append a LEB128 varint64 to dst.
 void PutVarint64(std::string* dst, uint64_t v);
 
+/// Out-of-line continuation for multi-byte varints (see GetVarint32Ptr).
+const char* GetVarint32PtrFallback(const char* p, const char* limit,
+                                   uint32_t* value);
+const char* GetVarint64PtrFallback(const char* p, const char* limit,
+                                   uint64_t* value);
+
 /// Parse a varint32 from [p, limit); returns the byte after the varint or
-/// nullptr on malformed input.
-const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
-const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+/// nullptr on malformed input. The single-byte case (values < 128 — almost
+/// every shared-prefix/length varint in a data block) decodes inline; the
+/// block iterator calls this several times per record.
+inline const char* GetVarint32Ptr(const char* p, const char* limit,
+                                  uint32_t* value) {
+  if (p < limit) {
+    const uint32_t result = static_cast<unsigned char>(*p);
+    if ((result & 0x80) == 0) {
+      *value = result;
+      return p + 1;
+    }
+  }
+  return GetVarint32PtrFallback(p, limit, value);
+}
+inline const char* GetVarint64Ptr(const char* p, const char* limit,
+                                  uint64_t* value) {
+  if (p < limit) {
+    const uint64_t result = static_cast<unsigned char>(*p);
+    if ((result & 0x80) == 0) {
+      *value = result;
+      return p + 1;
+    }
+  }
+  return GetVarint64PtrFallback(p, limit, value);
+}
 
 /// Consume a varint32 from the front of *input. Returns false on corruption.
 bool GetVarint32(Slice* input, uint32_t* value);

@@ -51,40 +51,46 @@ Status GroupByAggOp::Open() {
 
 Status GroupByAggOp::Rewind() { return Open(); }
 
+bool GroupByAggOp::UpdateGroups(const RowView& view, const char* row_data,
+                                sim::AccessContext* ctx) {
+  const Schema& in = child_->output_schema();
+  // Group key = raw bytes of the group columns (buffer reused per row; the
+  // map only copies it when a new group is inserted).
+  KeyBytesInto(in, group_idx_, row_data, &key_buf_);
+  auto [it, inserted] = groups_.try_emplace(key_buf_);
+  if (inserted) {
+    it->second.resize(aggs_.size());
+    if (ctx != nullptr) ctx->ChargeCopy(key_buf_.size());
+  }
+  if (ctx != nullptr) {
+    ctx->Charge(sim::CostKind::kHashProbe, 1);
+    ctx->Charge(sim::CostKind::kAggUpdate, aggs_.size());
+  }
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    AggState& st = it->second[a];
+    const int idx = agg_idx_[a];
+    ++st.count;
+    if (idx < 0) continue;  // COUNT(*)
+    if (in.column(idx).type == rel::ColType::kInt32) {
+      const int64_t v = view.GetInt(idx);
+      st.sum += v;
+      if (!st.seen || v < st.min_int) st.min_int = v;
+      if (!st.seen || v > st.max_int) st.max_int = v;
+    } else {
+      const std::string v = view.GetString(idx).ToString();
+      if (!st.seen || v < st.min_str) st.min_str = v;
+      if (!st.seen || v > st.max_str) st.max_str = v;
+    }
+    st.seen = true;
+  }
+  return inserted;
+}
+
 Status GroupByAggOp::Consume() {
   const Schema& in = child_->output_schema();
   std::string row;
   while (child_->Next(&row)) {
-    const RowView view(row.data(), &in);
-    // Group key = raw bytes of the group columns (buffer reused per row; the
-    // map only copies it when a new group is inserted).
-    KeyBytesInto(in, group_idx_, row.data(), &key_buf_);
-    auto [it, inserted] = groups_.try_emplace(key_buf_);
-    if (inserted) {
-      it->second.resize(aggs_.size());
-      if (ctx_ != nullptr) ctx_->ChargeCopy(key_buf_.size());
-    }
-    if (ctx_ != nullptr) {
-      ctx_->Charge(sim::CostKind::kHashProbe, 1);
-      ctx_->Charge(sim::CostKind::kAggUpdate, aggs_.size());
-    }
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      AggState& st = it->second[a];
-      const int idx = agg_idx_[a];
-      ++st.count;
-      if (idx < 0) continue;  // COUNT(*)
-      if (in.column(idx).type == rel::ColType::kInt32) {
-        const int64_t v = view.GetInt(idx);
-        st.sum += v;
-        if (!st.seen || v < st.min_int) st.min_int = v;
-        if (!st.seen || v > st.max_int) st.max_int = v;
-      } else {
-        const std::string v = view.GetString(idx).ToString();
-        if (!st.seen || v < st.min_str) st.min_str = v;
-        if (!st.seen || v > st.max_str) st.max_str = v;
-      }
-      st.seen = true;
-    }
+    UpdateGroups(RowView(row.data(), &in), row.data(), ctx_);
   }
   // Global aggregate with no groups: always emit one row, even on empty
   // input (SQL semantics for aggregates without GROUP BY).
@@ -96,20 +102,41 @@ Status GroupByAggOp::Consume() {
   return Status::OK();
 }
 
-bool GroupByAggOp::Next(std::string* row) {
-  if (!consumed_) {
-    if (!Consume().ok()) return false;
+Status GroupByAggOp::ConsumeBatched(size_t max_rows) {
+  const Schema& in = child_->output_schema();
+  while (RowBatch* b = child_->NextBatch(max_rows)) {
+    uint64_t inserts = 0;
+    for (size_t k = 0; k < b->num_active(); ++k) {
+      const char* r = b->active_row(k);
+      if (UpdateGroups(RowView(r, &in), r, nullptr)) ++inserts;
+    }
+    // Per-row probe/update charges are identical across the batch; the
+    // insert copy charge is identical per new group (fixed key width).
+    // Charged per child batch, before the next pull, so nothing crosses a
+    // stall boundary.
+    if (ctx_ != nullptr) {
+      const uint64_t n = b->num_active();
+      ctx_->ChargeRepeated(sim::CostKind::kHashProbe, 1, n);
+      ctx_->ChargeRepeated(sim::CostKind::kAggUpdate, aggs_.size(), n);
+      ctx_->ChargeCopyRepeated(key_buf_.size(), inserts);
+    }
   }
-  if (emit_it_ == groups_.end()) return false;
+  if (group_cols_.empty() && groups_.empty()) {
+    groups_.try_emplace(std::string()).first->second.resize(aggs_.size());
+  }
+  emit_it_ = groups_.begin();
+  consumed_ = true;
+  return Status::OK();
+}
 
-  row->assign(out_schema_.row_size(), '\0');
+void GroupByAggOp::EmitGroupInto(char* dst) const {
   // Group key columns first.
   size_t out_col = 0;
   size_t key_off = 0;
   for (size_t g = 0; g < group_idx_.size(); ++g, ++out_col) {
     const uint32_t width = out_schema_.column(out_col).size;
-    memcpy(row->data() + out_schema_.offset(out_col),
-           emit_it_->first.data() + key_off, width);
+    memcpy(dst + out_schema_.offset(out_col), emit_it_->first.data() + key_off,
+           width);
     key_off += width;
   }
   // Aggregates.
@@ -134,22 +161,52 @@ bool GroupByAggOp::Next(std::string* row) {
               aggs_[a].fn == AggFn::kMin ? st.min_str : st.max_str;
           const size_t n =
               std::min<size_t>(s.size(), out_schema_.column(out_col).size);
-          memcpy(row->data() + offset, s.data(), n);
+          memcpy(dst + offset, s.data(), n);
           continue;
         }
         v = aggs_[a].fn == AggFn::kMin ? st.min_int : st.max_int;
         break;
       }
     }
-    EncodeFixed32(row->data() + offset,
+    EncodeFixed32(dst + offset,
                   static_cast<uint32_t>(static_cast<int32_t>(
                       std::clamp<int64_t>(v, std::numeric_limits<int32_t>::min(),
                                           std::numeric_limits<int32_t>::max()))));
   }
+}
+
+bool GroupByAggOp::Next(std::string* row) {
+  if (!consumed_) {
+    if (!Consume().ok()) return false;
+  }
+  if (emit_it_ == groups_.end()) return false;
+
+  row->assign(out_schema_.row_size(), '\0');
+  EmitGroupInto(row->data());
   if (ctx_ != nullptr) ctx_->ChargeCopy(row->size());
   ++emit_it_;
   ++rows_produced_;
   return true;
+}
+
+RowBatch* GroupByAggOp::NextBatch(size_t max_rows) {
+  if (!consumed_) {
+    if (!ConsumeBatched(max_rows).ok()) return nullptr;
+  }
+  if (emit_it_ == groups_.end()) return nullptr;
+  batch_.Reset(&out_schema_, max_rows);
+  while (!batch_.full() && emit_it_ != groups_.end()) {
+    char* dst = batch_.AppendRow();
+    memset(dst, 0, out_schema_.row_size());
+    EmitGroupInto(dst);
+    ++emit_it_;
+    ++rows_produced_;
+  }
+  // Identical emission copies, charged once per batch.
+  if (ctx_ != nullptr) {
+    ctx_->ChargeCopyRepeated(out_schema_.row_size(), batch_.num_active());
+  }
+  return &batch_;
 }
 
 }  // namespace hybridndp::exec

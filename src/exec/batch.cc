@@ -1,0 +1,36 @@
+// Batch-execution plumbing shared by all operators: the default NextBatch
+// adapter over Next(), and the batched drain.
+
+#include "exec/operator.h"
+
+namespace hybridndp::exec {
+
+RowBatch* Operator::NextBatch(size_t max_rows) {
+  return FillBatchViaNext(max_rows);
+}
+
+RowBatch* Operator::FillBatchViaNext(size_t max_rows) {
+  adapter_batch_.Reset(&output_schema(), max_rows);
+  while (!adapter_batch_.full()) {
+    if (!Next(&adapter_row_)) break;
+    adapter_batch_.AppendCopy(adapter_row_.data());
+  }
+  return adapter_batch_.num_active() > 0 ? &adapter_batch_ : nullptr;
+}
+
+Result<std::vector<std::string>> CollectAllBatched(Operator* op,
+                                                   size_t batch_rows) {
+  if (batch_rows == 0) batch_rows = 1;
+  HNDP_RETURN_IF_ERROR(op->Open());
+  std::vector<std::string> rows;
+  const size_t row_size = op->output_schema().row_size();
+  while (RowBatch* b = op->NextBatch(batch_rows)) {
+    for (size_t k = 0; k < b->num_active(); ++k) {
+      rows.emplace_back(b->active_row(k), row_size);
+    }
+  }
+  op->Close();
+  return rows;
+}
+
+}  // namespace hybridndp::exec

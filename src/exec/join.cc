@@ -34,10 +34,19 @@ Status ResolveKeys(const std::vector<JoinKey>& keys, const Schema& left,
 /// Concatenate two rows into the combined schema layout.
 void ConcatRows(const Schema& left, const Schema& right, const char* lrow,
                 const char* rrow, std::string* out, sim::AccessContext* ctx) {
-  out->resize(left.row_size() + right.row_size());
+  const size_t total = left.row_size() + right.row_size();
+  if (out->size() != total) out->resize(total);
   memcpy(out->data(), lrow, left.row_size());
   memcpy(out->data() + left.row_size(), rrow, right.row_size());
-  if (ctx != nullptr) ctx->ChargeCopy(out->size());
+  if (ctx != nullptr) ctx->ChargeCopy(total);
+}
+
+/// ConcatRows into a pre-sized batch slot (same charge).
+void ConcatRowsInto(const Schema& left, const Schema& right, const char* lrow,
+                    const char* rrow, char* dst, sim::AccessContext* ctx) {
+  memcpy(dst, lrow, left.row_size());
+  memcpy(dst + left.row_size(), rrow, right.row_size());
+  if (ctx != nullptr) ctx->ChargeCopy(left.row_size() + right.row_size());
 }
 
 std::vector<int> LeftCols(const std::vector<std::pair<int, int>>& kc) {
@@ -166,6 +175,9 @@ Status BlockNLJoinOp::Open() {
   block_.clear();
   hash_.clear();
   blocks_ = 0;
+  inner_batch_ = nullptr;
+  inner_pos_ = 0;
+  inner_row_ptr_ = nullptr;
   return Status::OK();
 }
 
@@ -200,6 +212,99 @@ Status BlockNLJoinOp::LoadNextBlock() {
   have_inner_ = false;
   // Fresh pass over the inner input for this block.
   return inner_->Rewind();
+}
+
+Status BlockNLJoinOp::LoadNextBlockBatched() {
+  block_.clear();
+  hash_.clear();
+  uint64_t bytes = 0;
+  const size_t rs = outer_->output_schema().row_size();
+  // Bounded pulls keep the block composition byte-identical to the row
+  // path: request exactly the rows still needed to reach the threshold.
+  while (bytes < buffer_bytes_) {
+    const uint64_t need =
+        rs > 0 ? (buffer_bytes_ - bytes + rs - 1) / rs : uint64_t{1};
+    const size_t req =
+        static_cast<size_t>(need < uint64_t{4096} ? need : uint64_t{4096});
+    RowBatch* ob = outer_->NextBatch(req);
+    if (ob == nullptr) break;
+    for (size_t k = 0; k < ob->num_active(); ++k) {
+      block_.emplace_back(ob->active_row(k), rs);
+      bytes += rs;
+    }
+  }
+  if (block_.empty()) {
+    outer_exhausted_ = true;
+    block_active_ = false;
+    return Status::OK();
+  }
+  for (size_t i = 0; i < block_.size(); ++i) {
+    KeyBytesInto(outer_->output_schema(), outer_key_cols_, block_[i].data(),
+                 &key_buf_);
+    hash_.emplace(key_buf_, i);
+  }
+  // Identical build-insert and copy charges for every buffered row: pay
+  // them once per block instead of once per row.
+  if (ctx_ != nullptr) {
+    ctx_->ChargeRepeated(sim::CostKind::kHashBuild, 1, block_.size());
+    ctx_->ChargeCopyRepeated(rs, block_.size());
+  }
+  ++blocks_;
+  block_active_ = true;
+  have_inner_ = false;
+  inner_batch_ = nullptr;
+  inner_pos_ = 0;
+  return inner_->Rewind();
+}
+
+RowBatch* BlockNLJoinOp::NextBatch(size_t max_rows) {
+  const Schema& lschema = outer_->output_schema();
+  const Schema& rschema = inner_->output_schema();
+  batch_.Reset(&out_schema_, max_rows);
+  while (true) {
+    if (!block_active_) {
+      if (batch_.num_active() > 0) return &batch_;
+      if (outer_exhausted_) return nullptr;
+      Status s = LoadNextBlockBatched();
+      if (!s.ok()) return nullptr;
+      continue;
+    }
+    // Emit remaining matches of the current inner row.
+    while (have_inner_ && match_range_.first != match_range_.second) {
+      if (batch_.full()) return &batch_;
+      const size_t idx = match_range_.first->second;
+      ++match_range_.first;
+      char* dst = batch_.PeekRow();
+      ConcatRowsInto(lschema, rschema, block_[idx].data(), inner_row_ptr_,
+                     dst, ctx_);
+      if (residual_ != nullptr &&
+          !residual_->Eval(RowView(dst, &out_schema_), ctx_)) {
+        continue;
+      }
+      batch_.CommitRow();
+      ++rows_produced_;
+    }
+    if (batch_.full()) return &batch_;
+    // Advance the probe cursor within the current inner batch.
+    if (inner_batch_ != nullptr && inner_pos_ < inner_batch_->num_active()) {
+      inner_row_ptr_ = inner_batch_->active_row(inner_pos_++);
+      have_inner_ = true;
+      if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashProbe, 1);
+      KeyBytesInto(rschema, inner_key_cols_, inner_row_ptr_, &key_buf_);
+      match_range_ = hash_.equal_range(std::string_view(key_buf_));
+      continue;
+    }
+    // Need a fresh probe batch. Return a partial output batch first so no
+    // child pull happens after rows were emitted (stall alignment).
+    if (batch_.num_active() > 0) return &batch_;
+    have_inner_ = false;
+    inner_batch_ = inner_->NextBatch(max_rows);
+    inner_pos_ = 0;
+    if (inner_batch_ == nullptr) {
+      // Inner exhausted for this block: move to the next outer block.
+      block_active_ = false;
+    }
+  }
 }
 
 bool BlockNLJoinOp::Next(std::string* row) {
@@ -326,6 +431,27 @@ Status BlockNLIndexJoinOp::LoadNextBlock() {
   return Status::OK();
 }
 
+Status BlockNLIndexJoinOp::LoadNextBlockBatched() {
+  uint64_t bytes = 0;
+  const size_t rs = outer_->output_schema().row_size();
+  while (bytes < buffer_bytes_) {
+    const uint64_t need =
+        rs > 0 ? (buffer_bytes_ - bytes + rs - 1) / rs : uint64_t{1};
+    const size_t req =
+        static_cast<size_t>(need < uint64_t{4096} ? need : uint64_t{4096});
+    RowBatch* ob = outer_->NextBatch(req);
+    if (ob == nullptr) break;
+    for (size_t k = 0; k < ob->num_active(); ++k) {
+      block_.emplace_back(ob->active_row(k), rs);
+      bytes += rs;
+    }
+    // One identical buffering copy per row, paid per pulled batch.
+    if (ctx_ != nullptr) ctx_->ChargeCopyRepeated(rs, ob->num_active());
+  }
+  if (block_.empty()) outer_exhausted_ = true;
+  return Status::OK();
+}
+
 Status BlockNLIndexJoinOp::FetchMatches(const RowView& outer_row) {
   matches_.clear();
   match_pos_ = 0;
@@ -400,6 +526,34 @@ bool BlockNLIndexJoinOp::Next(std::string* row) {
     const RowView view(current_outer_.data(), &lschema);
     Status s = FetchMatches(view);
     if (!s.ok()) return false;
+  }
+}
+
+RowBatch* BlockNLIndexJoinOp::NextBatch(size_t max_rows) {
+  const Schema& lschema = outer_->output_schema();
+  batch_.Reset(&out_schema_, max_rows);
+  while (true) {
+    if (match_pos_ < matches_.size()) {
+      if (batch_.full()) return &batch_;
+      ConcatRowsInto(lschema, inner_out_schema_, current_outer_.data(),
+                     matches_[match_pos_].data(), batch_.AppendRow(), ctx_);
+      ++match_pos_;
+      ++rows_produced_;
+      continue;
+    }
+    if (batch_.full()) return &batch_;
+    if (block_.empty()) {
+      if (batch_.num_active() > 0) return &batch_;  // before any child pull
+      if (outer_exhausted_) return nullptr;
+      Status s = LoadNextBlockBatched();
+      if (!s.ok()) return nullptr;
+      continue;
+    }
+    current_outer_ = std::move(block_.front());
+    block_.pop_front();
+    const RowView view(current_outer_.data(), &lschema);
+    Status s = FetchMatches(view);
+    if (!s.ok()) return nullptr;
   }
 }
 
@@ -482,6 +636,82 @@ Status GraceHashJoinOp::StartPartition(size_t p) {
   probe_pos_ = 0;
   in_match_ = false;
   return Status::OK();
+}
+
+Status GraceHashJoinOp::PartitionBatched(size_t max_rows) {
+  left_parts_.assign(num_partitions_, {});
+  right_parts_.assign(num_partitions_, {});
+  uint64_t spilled = 0;
+  const auto drain = [&](Operator* side, const std::vector<int>& key_cols,
+                         std::vector<std::vector<std::string>>* parts) {
+    const Schema& schema = side->output_schema();
+    const size_t rs = schema.row_size();
+    while (RowBatch* b = side->NextBatch(max_rows)) {
+      for (size_t k = 0; k < b->num_active(); ++k) {
+        const char* r = b->active_row(k);
+        KeyBytesInto(schema, key_cols, r, &key_buf_);
+        const size_t p = Hash64(Slice(key_buf_)) % num_partitions_;
+        spilled += rs;
+        (*parts)[p].emplace_back(r, rs);
+      }
+      // One identical partition-hash charge per row, paid per batch
+      // (before the next pull, so nothing crosses a stall boundary).
+      if (ctx_ != nullptr) {
+        ctx_->ChargeRepeated(sim::CostKind::kHashProbe, 1, b->num_active());
+      }
+    }
+  };
+  drain(left_.get(), left_key_cols_, &left_parts_);
+  drain(right_.get(), right_key_cols_, &right_parts_);
+  if (ctx_ != nullptr && spilled > 0) {
+    ctx_->ChargeFlashRead(spilled);  // spill write
+    ctx_->ChargeFlashRead(spilled);  // reload
+  }
+  partitioned_ = true;
+  return Status::OK();
+}
+
+RowBatch* GraceHashJoinOp::NextBatch(size_t max_rows) {
+  if (!partitioned_) {
+    if (!PartitionBatched(max_rows).ok()) return nullptr;
+    part_ = 0;
+    StartPartition(0);
+  }
+  const Schema& lschema = left_->output_schema();
+  const Schema& rschema = right_->output_schema();
+  batch_.Reset(&out_schema_, max_rows);
+  while (part_ < left_parts_.size()) {
+    auto& probe = right_parts_[part_];
+    while (true) {
+      if (in_match_ && match_range_.first != match_range_.second) {
+        if (batch_.full()) return &batch_;
+        const size_t build_idx = match_range_.first->second;
+        ++match_range_.first;
+        char* dst = batch_.PeekRow();
+        ConcatRowsInto(lschema, rschema, left_parts_[part_][build_idx].data(),
+                       probe[probe_pos_ - 1].data(), dst, ctx_);
+        if (residual_ != nullptr &&
+            !residual_->Eval(RowView(dst, &out_schema_), ctx_)) {
+          continue;
+        }
+        batch_.CommitRow();
+        ++rows_produced_;
+        continue;
+      }
+      in_match_ = false;
+      if (batch_.full()) return &batch_;
+      if (probe_pos_ >= probe.size()) break;
+      KeyBytesInto(rschema, right_key_cols_, probe[probe_pos_].data(),
+                   &key_buf_);
+      ++probe_pos_;
+      if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kHashProbe, 1);
+      match_range_ = hash_.equal_range(std::string_view(key_buf_));
+      in_match_ = true;
+    }
+    ++part_;
+    if (part_ < left_parts_.size()) StartPartition(part_);
+  }
+  return batch_.num_active() > 0 ? &batch_ : nullptr;
 }
 
 bool GraceHashJoinOp::Next(std::string* row) {

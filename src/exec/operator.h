@@ -17,6 +17,7 @@
 
 #include "common/hash.h"
 #include "exec/expr.h"
+#include "exec/row_batch.h"
 #include "lsm/db.h"
 #include "rel/table.h"
 #include "sim/cost.h"
@@ -67,6 +68,27 @@ class Operator {
 
   virtual std::string Describe() const = 0;
 
+  /// Batch-at-a-time interface (DESIGN.md §10). Returns a batch of up to
+  /// `max_rows` rows owned by this operator — valid until the next
+  /// NextBatch/FillBatchViaNext call on it — or nullptr when the stream is
+  /// exhausted. A non-null batch may carry zero active rows (e.g. a filter
+  /// that rejected a whole input batch); callers loop.
+  ///
+  /// Contract for batch-native overrides: charge exactly the per-row costs
+  /// the Next() path charges, and never pull a new child batch after rows
+  /// have been placed in the output batch (return the partial batch
+  /// instead). Together with the integer-picosecond clock this keeps batch
+  /// execution metric-identical to row execution even across the
+  /// cooperative layer's stall points.
+  virtual RowBatch* NextBatch(size_t max_rows);
+
+  /// Non-virtual adapter: fill a batch by looping this operator's Next().
+  /// Used as the default NextBatch and by drains that need row-pull
+  /// semantics regardless of overrides (the device executor's shared-slot
+  /// drain, where batch-internal lookahead would shift work attribution
+  /// across slot boundaries).
+  RowBatch* FillBatchViaNext(size_t max_rows);
+
   /// Visit each direct child (observability traversal of a finished PQEP —
   /// e.g. per-operator rows-produced aggregates). Leaves visit nothing.
   virtual void ForEachChild(
@@ -78,6 +100,10 @@ class Operator {
 
  protected:
   uint64_t rows_produced_ = 0;
+
+ private:
+  RowBatch adapter_batch_;   ///< storage for the default NextBatch
+  std::string adapter_row_;  ///< reused row buffer for the adapter loop
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -103,6 +129,9 @@ class TableScanOp final : public Operator {
   const Schema& output_schema() const override { return out_schema_; }
   Status Open() override;
   bool Next(std::string* row) override;
+  /// Batch-native: decodes up to max_rows qualifying rows per call straight
+  /// from the block iterator into the batch (no std::string per row).
+  RowBatch* NextBatch(size_t max_rows) override;
   Status Rewind() override { return Open(); }
   std::string Describe() const override;
 
@@ -119,6 +148,7 @@ class TableScanOp final : public Operator {
   std::vector<std::string> projection_names_;
   lsm::IteratorPtr iter_;
   uint64_t rows_scanned_ = 0;
+  RowBatch batch_;
 };
 
 /// Secondary-index range scan: walks the index column family for entries in
@@ -134,6 +164,7 @@ class IndexScanOp final : public Operator {
   const Schema& output_schema() const override { return out_schema_; }
   Status Open() override;
   bool Next(std::string* row) override;
+  RowBatch* NextBatch(size_t max_rows) override;
   Status Rewind() override { return Open(); }
   std::string Describe() const override;
 
@@ -151,6 +182,7 @@ class IndexScanOp final : public Operator {
   lsm::IteratorPtr iter_;
   std::string end_key_;
   std::string base_row_buf_;  ///< reused primary-row fetch buffer
+  RowBatch batch_;
 };
 
 /// Row source over a materialized vector (used to feed device-produced
@@ -171,6 +203,15 @@ class VectorSourceOp final : public Operator {
     ++rows_produced_;
     return true;
   }
+  RowBatch* NextBatch(size_t max_rows) override {
+    if (pos_ >= rows_->size()) return nullptr;
+    batch_.Reset(&schema_, max_rows);
+    while (!batch_.full() && pos_ < rows_->size()) {
+      batch_.AppendCopy((*rows_)[pos_++].data());
+      ++rows_produced_;
+    }
+    return &batch_;
+  }
   Status Rewind() override { return Open(); }
   std::string Describe() const override { return "VectorSource"; }
 
@@ -178,6 +219,7 @@ class VectorSourceOp final : public Operator {
   Schema schema_;
   const std::vector<std::string>* rows_;
   size_t pos_ = 0;
+  RowBatch batch_;
 };
 
 /// Filter (selection on an arbitrary input).
@@ -190,6 +232,9 @@ class FilterOp final : public Operator {
   }
   Status Open() override;
   bool Next(std::string* row) override;
+  /// Batch-native: narrows the child batch's selection vector in place —
+  /// survivors are never copied. The returned batch is the child's.
+  RowBatch* NextBatch(size_t max_rows) override;
   Status Rewind() override;
   std::string Describe() const override;
   void ForEachChild(
@@ -219,6 +264,8 @@ class ProjectOp final : public Operator {
     fn(*child_);
   }
 
+  RowBatch* NextBatch(size_t max_rows) override;
+
  private:
   OperatorPtr child_;
   sim::AccessContext* ctx_;
@@ -226,6 +273,7 @@ class ProjectOp final : public Operator {
   std::vector<int> cols_;
   std::vector<std::string> projection_names_;
   std::string child_row_;
+  RowBatch batch_;
 };
 
 /// Classic tuple-at-a-time nested loop join (paper: NLJ).
@@ -281,10 +329,17 @@ class BlockNLJoinOp final : public Operator {
     fn(*inner_);
   }
 
+  /// Batch-native: fills the outer block with bounded batch pulls (exact
+  /// byte threshold, same block composition as the row path), builds the
+  /// hash table once per block, and probes whole inner batches — one
+  /// KeyBytesInto + hash per inner row.
+  RowBatch* NextBatch(size_t max_rows) override;
+
   uint64_t blocks_used() const { return blocks_; }
 
  private:
   Status LoadNextBlock();
+  Status LoadNextBlockBatched();
 
   OperatorPtr outer_, inner_;
   std::vector<JoinKey> keys_;
@@ -304,6 +359,10 @@ class BlockNLJoinOp final : public Operator {
   bool have_inner_ = false;
   std::pair<RowIndexMap::iterator, RowIndexMap::iterator> match_range_;
   uint64_t blocks_ = 0;
+  RowBatch batch_;                       ///< output batch
+  RowBatch* inner_batch_ = nullptr;      ///< child-owned probe batch
+  size_t inner_pos_ = 0;                 ///< cursor into inner_batch_
+  const char* inner_row_ptr_ = nullptr;  ///< current probe row (batch mode)
 };
 
 /// Indexed block nested loop join (paper: BNLJI): the inner side is a base
@@ -329,10 +388,13 @@ class BlockNLIndexJoinOp final : public Operator {
     fn(*outer_);
   }
 
+  RowBatch* NextBatch(size_t max_rows) override;
+
   uint64_t index_lookups() const { return lookups_; }
 
  private:
   Status LoadNextBlock();
+  Status LoadNextBlockBatched();
   /// Collect matching inner rows for the current outer row into matches_.
   Status FetchMatches(const RowView& outer_row);
 
@@ -362,6 +424,7 @@ class BlockNLIndexJoinOp final : public Operator {
   std::string base_row_buf_;   ///< reused primary-row fetch buffer
   bool have_outer_ = false;
   uint64_t lookups_ = 0;
+  RowBatch batch_;
 };
 
 /// Grace hash join: both inputs are hash-partitioned to (simulated) storage,
@@ -383,8 +446,11 @@ class GraceHashJoinOp final : public Operator {
     fn(*right_);
   }
 
+  RowBatch* NextBatch(size_t max_rows) override;
+
  private:
   Status Partition();
+  Status PartitionBatched(size_t max_rows);
   Status StartPartition(size_t p);
 
   OperatorPtr left_, right_;
@@ -404,6 +470,7 @@ class GraceHashJoinOp final : public Operator {
   std::pair<RowIndexMap::iterator, RowIndexMap::iterator> match_range_;
   bool in_match_ = false;
   bool partitioned_ = false;
+  RowBatch batch_;
 };
 
 /// Aggregate functions over one column.
@@ -425,6 +492,7 @@ class GroupByAggOp final : public Operator {
   const Schema& output_schema() const override { return out_schema_; }
   Status Open() override;
   bool Next(std::string* row) override;
+  RowBatch* NextBatch(size_t max_rows) override;
   Status Rewind() override;
   std::string Describe() const override { return "GroupByAgg"; }
   void ForEachChild(
@@ -443,6 +511,15 @@ class GroupByAggOp final : public Operator {
   };
 
   Status Consume();
+  Status ConsumeBatched(size_t max_rows);
+  /// Shared per-row aggregation step (row and batch consume paths). Charges
+  /// per-row costs against `ctx` when non-null (the batch path passes null
+  /// and bulk-charges per batch); returns whether a new group was inserted.
+  bool UpdateGroups(const RowView& view, const char* row_data,
+                    sim::AccessContext* ctx);
+  /// Render the group at emit_it_ into a zeroed row buffer of
+  /// out_schema_.row_size() bytes (shared by Next and NextBatch).
+  void EmitGroupInto(char* dst) const;
 
   OperatorPtr child_;
   std::vector<std::string> group_cols_;
@@ -455,9 +532,16 @@ class GroupByAggOp final : public Operator {
   std::map<std::string, std::vector<AggState>> groups_;
   std::map<std::string, std::vector<AggState>>::iterator emit_it_;
   bool consumed_ = false;
+  RowBatch batch_;
 };
 
 /// Drain an operator to completion, collecting rows.
 Result<std::vector<std::string>> CollectAll(Operator* op);
+
+/// Drain an operator to completion through the batch interface,
+/// `batch_rows` rows per pull. Produces the same rows in the same order as
+/// CollectAll and — by the NextBatch contract — the same simulated metrics.
+Result<std::vector<std::string>> CollectAllBatched(Operator* op,
+                                                   size_t batch_rows);
 
 }  // namespace hybridndp::exec

@@ -39,17 +39,23 @@ Status ResolveProjection(const Schema& schema,
   return Status::OK();
 }
 
-/// Copy projected fields of `row` (in `schema`) into *out.
-void ProjectRow(const Schema& schema, const std::vector<int>& cols,
-                const Schema& out_schema, const char* row, std::string* out,
-                sim::AccessContext* ctx) {
-  out->resize(out_schema.row_size());
-  char* dst = out->data();
+/// Copy projected fields of `row` (in `schema`) into a pre-sized buffer.
+void ProjectRowInto(const Schema& schema, const std::vector<int>& cols,
+                    const Schema& out_schema, const char* row, char* dst,
+                    sim::AccessContext* ctx) {
   for (size_t i = 0; i < cols.size(); ++i) {
     const auto& col = schema.column(cols[i]);
     memcpy(dst + out_schema.offset(i), row + schema.offset(cols[i]), col.size);
   }
   if (ctx != nullptr) ctx->ChargeCopy(out_schema.row_size());
+}
+
+/// Copy projected fields of `row` (in `schema`) into *out.
+void ProjectRow(const Schema& schema, const std::vector<int>& cols,
+                const Schema& out_schema, const char* row, std::string* out,
+                sim::AccessContext* ctx) {
+  if (out->size() != out_schema.row_size()) out->resize(out_schema.row_size());
+  ProjectRowInto(schema, cols, out_schema, row, out->data(), ctx);
 }
 
 }  // namespace
@@ -102,6 +108,34 @@ bool TableScanOp::Next(std::string* row) {
     iter_->Next();
   }
   return false;
+}
+
+RowBatch* TableScanOp::NextBatch(size_t max_rows) {
+  batch_.Reset(&out_schema_, max_rows);
+  // Per-row selection and copy charges are identical for every row, so the
+  // batch pays them once per batch via ChargeRepeated (bit-identical: only
+  // additive charges interleave inside the loop, and sums of quantized
+  // charges are order-independent).
+  uint64_t scanned = 0;
+  while (!batch_.full() && iter_ != nullptr && iter_->Valid()) {
+    const Slice value = iter_->value();
+    const RowView view(value.data(), &aliased_schema_);
+    ++scanned;
+    const bool pass =
+        predicate_ == nullptr || predicate_->Eval(view, opts_.ctx);
+    if (pass) {
+      ProjectRowInto(aliased_schema_, out_cols_, out_schema_, value.data(),
+                     batch_.AppendRow(), nullptr);
+      ++rows_produced_;
+    }
+    iter_->Next();
+  }
+  rows_scanned_ += scanned;
+  if (opts_.ctx != nullptr) {
+    opts_.ctx->ChargeRepeated(sim::CostKind::kSelectionProcessing, 1, scanned);
+    opts_.ctx->ChargeCopyRepeated(out_schema_.row_size(), batch_.num_active());
+  }
+  return batch_.num_active() > 0 ? &batch_ : nullptr;
 }
 
 std::string TableScanOp::Describe() const {
@@ -175,6 +209,36 @@ bool IndexScanOp::Next(std::string* row) {
   return false;
 }
 
+RowBatch* IndexScanOp::NextBatch(size_t max_rows) {
+  batch_.Reset(&out_schema_, max_rows);
+  // Uniform per-row charges amortized over the batch (see TableScanOp).
+  uint64_t fetched = 0;
+  while (!batch_.full() && iter_ != nullptr && iter_->Valid()) {
+    const Slice ikey = iter_->key();
+    if (ikey.size() < 8) {
+      iter_->Next();
+      continue;
+    }
+    if (memcmp(ikey.data(), end_key_.data(), 4) > 0) break;  // past range
+    const int32_t pk = GetOrderedInt32(ikey.data() + ikey.size() - 4);
+    iter_->Next();
+
+    Status s = table_->GetByPk(opts_, pk, &base_row_buf_);
+    if (!s.ok()) continue;  // dangling index entry
+    const RowView view(base_row_buf_.data(), &aliased_schema_);
+    ++fetched;
+    if (residual_ != nullptr && !residual_->Eval(view, opts_.ctx)) continue;
+    ProjectRowInto(aliased_schema_, out_cols_, out_schema_,
+                   base_row_buf_.data(), batch_.AppendRow(), nullptr);
+    ++rows_produced_;
+  }
+  if (opts_.ctx != nullptr) {
+    opts_.ctx->ChargeRepeated(sim::CostKind::kSelectionProcessing, 1, fetched);
+    opts_.ctx->ChargeCopyRepeated(out_schema_.row_size(), batch_.num_active());
+  }
+  return batch_.num_active() > 0 ? &batch_ : nullptr;
+}
+
 std::string IndexScanOp::Describe() const {
   return "IndexScan(" + table_->name() + "." +
          table_->def().indexes[index_no_].name + " in [" +
@@ -204,6 +268,27 @@ bool FilterOp::Next(std::string* row) {
   return false;
 }
 
+RowBatch* FilterOp::NextBatch(size_t max_rows) {
+  RowBatch* b = child_->NextBatch(max_rows);
+  if (b == nullptr) return nullptr;
+  const Schema& schema = child_->output_schema();
+  uint32_t* sel = b->mutable_sel();
+  size_t n_out = 0;
+  const size_t n_in = b->num_active();
+  // One eval charge per input row, identical each time: pay once per batch.
+  if (ctx_ != nullptr) ctx_->ChargeRepeated(sim::CostKind::kRecordEval, 1, n_in);
+  for (size_t k = 0; k < n_in; ++k) {
+    const uint32_t idx = sel[k];
+    const RowView view(b->row(idx), &schema);
+    if (predicate_->Eval(view, ctx_)) {
+      sel[n_out++] = idx;
+      ++rows_produced_;
+    }
+  }
+  b->SetNumActive(n_out);
+  return b;  // possibly zero active rows; callers loop
+}
+
 Status FilterOp::Rewind() { return child_->Rewind(); }
 
 std::string FilterOp::Describe() const {
@@ -228,6 +313,22 @@ bool ProjectOp::Next(std::string* row) {
              row, ctx_);
   ++rows_produced_;
   return true;
+}
+
+RowBatch* ProjectOp::NextBatch(size_t max_rows) {
+  RowBatch* b = child_->NextBatch(max_rows);
+  if (b == nullptr) return nullptr;
+  batch_.Reset(&out_schema_, max_rows);
+  const Schema& in_schema = child_->output_schema();
+  const size_t n = b->num_active();
+  for (size_t k = 0; k < n; ++k) {
+    ProjectRowInto(in_schema, cols_, out_schema_, b->active_row(k),
+                   batch_.AppendRow(), nullptr);
+    ++rows_produced_;
+  }
+  // n identical projection copies, charged in one step.
+  if (ctx_ != nullptr) ctx_->ChargeCopyRepeated(out_schema_.row_size(), n);
+  return &batch_;  // 1:1 with the child batch; no refill (stall alignment)
 }
 
 Status ProjectOp::Rewind() { return child_->Rewind(); }

@@ -154,4 +154,40 @@ bool StallingSourceOp::Next(std::string* row) {
   return true;
 }
 
+exec::RowBatch* StallingSourceOp::NextBatch(size_t max_rows) {
+  while (batch_rows_left_ == 0) {
+    if (next_batch_ >= schedule_->num_batches()) return nullptr;
+    const SimNanos arrival =
+        schedule_->Fetch(next_batch_, host_ctx_->now(), stages_);
+    host_ctx_->clock().AdvanceTo(arrival);
+    batch_rows_left_ = schedule_->BatchRowCount(next_batch_);
+    ++next_batch_;
+  }
+  if (pos_ >= rows_->size()) return nullptr;
+  // Clamp to the current device batch: a second fetch after rows were
+  // emitted would move the stall point relative to the row path.
+  size_t take = max_rows < batch_rows_left_
+                    ? max_rows
+                    : static_cast<size_t>(batch_rows_left_);
+  const size_t avail = rows_->size() - pos_;
+  if (take > avail) take = avail;
+  batch_.Reset(&schema_, take);
+  // The batch may cap its capacity below `take` (slab ceiling); taking
+  // fewer rows than the device batch holds is always legal — only reading
+  // past the stall point would change the schedule.
+  if (take > batch_.capacity()) take = batch_.capacity();
+  for (size_t k = 0; k < take; ++k) {
+    batch_.AppendCopy((*rows_)[pos_++].data());
+    --batch_rows_left_;
+    ++rows_produced_;
+  }
+  // `take` identical per-record charges, paid in one step (bit-identical,
+  // see AccessContext::ChargeRepeated).
+  if (host_ctx_ != nullptr) {
+    host_ctx_->ChargeRepeated(sim::CostKind::kRecordEval, 1, take);
+    host_ctx_->ChargeCopyRepeated(schema_.row_size(), take);
+  }
+  return &batch_;
+}
+
 }  // namespace hybridndp::hybrid

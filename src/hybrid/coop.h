@@ -92,6 +92,10 @@ class StallingSourceOp final : public exec::Operator {
   const rel::Schema& output_schema() const override { return schema_; }
   Status Open() override;
   bool Next(std::string* row) override;
+  /// Batch-native: a returned RowBatch never spans device batches, so the
+  /// stall/fetch point always falls between host batches exactly as in the
+  /// row path (bit-identical wait attribution).
+  exec::RowBatch* NextBatch(size_t max_rows) override;
   Status Rewind() override;
   std::string Describe() const override { return "StallingSource"; }
 
@@ -104,6 +108,7 @@ class StallingSourceOp final : public exec::Operator {
   size_t pos_ = 0;
   size_t next_batch_ = 0;  ///< next batch to fetch
   uint64_t batch_rows_left_ = 0;
+  exec::RowBatch batch_;
 };
 
 }  // namespace hybridndp::hybrid

@@ -174,8 +174,11 @@ Result<RunResult> HybridExecutor::RunHostOnly(const Plan& plan,
   exec::OperatorPtr root = BuildHostScan(plan, 0, &ctx, cache, path);
   HNDP_ASSIGN_OR_RETURN(root, BuildHostSuffix(plan, 1, std::move(root), &ctx,
                                               cache, path, /*add_root=*/true));
-  HNDP_ASSIGN_OR_RETURN(std::vector<std::string> rows,
-                        exec::CollectAll(root.get()));
+  HNDP_ASSIGN_OR_RETURN(
+      std::vector<std::string> rows,
+      config_.exec_batch_rows > 0
+          ? exec::CollectAllBatched(root.get(), config_.exec_batch_rows)
+          : exec::CollectAll(root.get()));
 
   RunResult result;
   result.choice = choice;
@@ -367,8 +370,11 @@ Result<RunResult> HybridExecutor::RunDeviceAssisted(
     // Result already projected on-device; nothing to add.
   }
 
-  HNDP_ASSIGN_OR_RETURN(std::vector<std::string> rows,
-                        exec::CollectAll(root.get()));
+  HNDP_ASSIGN_OR_RETURN(
+      std::vector<std::string> rows,
+      config_.exec_batch_rows > 0
+          ? exec::CollectAllBatched(root.get(), config_.exec_batch_rows)
+          : exec::CollectAll(root.get()));
 
   result.schema = root->output_schema();
   result.rows = std::move(rows);

@@ -26,6 +26,9 @@ struct PlannerConfig {
   nkv::NdpBufferConfig buffers;
   /// Host-side join buffer bytes.
   uint64_t host_join_buffer_bytes = 64ull << 20;
+  /// Rows per host-pipeline batch pull (DESIGN.md §10). 0 disables the
+  /// batch path (row-at-a-time Next); metrics are identical either way.
+  size_t exec_batch_rows = 1024;
 };
 
 /// Estimate the selectivity of a (bound or unbound) predicate against one

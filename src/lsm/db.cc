@@ -233,7 +233,7 @@ Status DB::CompactLevel(ColumnFamily* cf, int level) {
     const bool same_as_prev =
         has_prev && parsed.user_key == Slice(prev_user_key);
     if (!same_as_prev) {
-      prev_user_key = parsed.user_key.ToString();
+      prev_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
       has_prev = true;
       // Keep only the newest version; drop tombstones at the bottom level.
       const bool drop =
@@ -342,7 +342,7 @@ void DB::ExportMetrics(obs::MetricsRegistry* metrics) const {
   metrics->counter("lsm.db.live_entries")->Set(entries);
 
   uint64_t block_reads = 0, block_read_bytes = 0, cache_hits = 0,
-           index_loads = 0;
+           index_loads = 0, pinned_seeks = 0;
   {
     std::lock_guard<std::mutex> lock(readers_mu_);
     for (const auto& [id, reader] : readers_) {
@@ -352,12 +352,14 @@ void DB::ExportMetrics(obs::MetricsRegistry* metrics) const {
       block_read_bytes += rs.block_read_bytes.load(std::memory_order_relaxed);
       cache_hits += rs.block_cache_hits.load(std::memory_order_relaxed);
       index_loads += rs.index_loads.load(std::memory_order_relaxed);
+      pinned_seeks += rs.pinned_index_seeks.load(std::memory_order_relaxed);
     }
   }
   metrics->counter("lsm.sst.block_reads")->Set(block_reads);
   metrics->counter("lsm.sst.block_read_bytes")->Set(block_read_bytes);
   metrics->counter("lsm.sst.block_cache_hits")->Set(cache_hits);
   metrics->counter("lsm.sst.index_loads")->Set(index_loads);
+  metrics->counter("lsm.sst.pinned_index_seeks")->Set(pinned_seeks);
 }
 
 const Version& DB::GetVersion(ColumnFamilyId cf) const {
@@ -545,12 +547,15 @@ class UserKeyIterator final : public Iterator {
         continue;
       }
       if (parsed.type == ValueType::kDeletion) {
-        key_ = parsed.user_key.ToString();
+        key_.assign(parsed.user_key.data(), parsed.user_key.size());
         SkipCurrentUserKey();
         continue;
       }
-      key_ = parsed.user_key.ToString();
-      value_ = inner_->value().ToString();
+      // assign() reuses the member strings' capacity; ToString() would
+      // allocate a fresh temporary for every visible record.
+      key_.assign(parsed.user_key.data(), parsed.user_key.size());
+      const Slice v = inner_->value();
+      value_.assign(v.data(), v.size());
       ChargeStep(value_.size());
       valid_ = true;
       return;

@@ -35,7 +35,10 @@ class MergingIterator final : public Iterator {
     FindSmallest();
   }
 
-  Slice key() const override { return current_->key(); }
+  /// The winning key is cached by FindSmallest: key() is the hottest call
+  /// on this iterator (several times per merged record, through two virtual
+  /// hops otherwise), and the slice stays valid until current_ advances.
+  Slice key() const override { return key_; }
   Slice value() const override { return current_->value(); }
 
   Status status() const override {
@@ -49,15 +52,19 @@ class MergingIterator final : public Iterator {
  private:
   void FindSmallest() {
     Iterator* smallest = nullptr;
+    Slice smallest_key;
     uint64_t compares = 0;
     for (auto& child : children_) {
       if (!child->Valid()) continue;
       if (smallest == nullptr) {
         smallest = child.get();
+        smallest_key = child->key();
       } else {
         ++compares;
-        if (CompareInternalKey(child->key(), smallest->key()) < 0) {
+        const Slice child_key = child->key();
+        if (CompareInternalKey(child_key, smallest_key) < 0) {
           smallest = child.get();
+          smallest_key = child_key;
         }
       }
     }
@@ -65,11 +72,13 @@ class MergingIterator final : public Iterator {
       ctx_->Charge(sim::CostKind::kCompareInternalKeys, compares);
     }
     current_ = smallest;
+    key_ = smallest_key;
   }
 
   std::vector<IteratorPtr> children_;
   sim::AccessContext* ctx_;
   Iterator* current_ = nullptr;
+  Slice key_;
 };
 
 }  // namespace hybridndp::lsm

@@ -37,7 +37,16 @@ SstBuilder::SstBuilder(VirtualStorage* storage, SstOptions options)
 void SstBuilder::Add(const Slice& ikey, const Slice& value) {
   assert(last_ikey_.empty() || CompareInternalKey(last_ikey_, ikey) < 0);
   if (meta_.num_entries == 0) meta_.smallest = ikey.ToString();
-  last_ikey_ = ikey.ToString();
+  // Flush before adding when the entry would blow past the size target, but
+  // never flush an empty block: an entry larger than the target itself (an
+  // oversized value) must still land in a block of its own, otherwise the
+  // index would point at a zero-entry block.
+  if (data_pending_ &&
+      data_block_.CurrentSizeEstimate() + ikey.size() + value.size() + 16 >=
+          options_.block_size) {
+    FlushDataBlock();
+  }
+  last_ikey_.assign(ikey.data(), ikey.size());
 
   bloom_.AddKey(ExtractUserKey(ikey));
   data_block_.Add(ikey, value);
@@ -128,13 +137,83 @@ Status SstReader::EnsureOpened(sim::AccessContext* ctx, BlockCache* cache) {
     }
   }
   read_stats_.index_loads.fetch_add(1, std::memory_order_relaxed);
-  index_contents_ = Slice(contents->data() + index_off, index_sz);
-  index_block_ = std::make_unique<BlockReader>(index_contents_);
+  // Pin the sparse index: decode it once here (charge-free — the physical
+  // load was charged above) so every later seek binary-searches the decoded
+  // entries instead of re-parsing varints and prefix compression.
+  {
+    const BlockReader index_block(Slice(contents->data() + index_off,
+                                        index_sz));
+    auto it = index_block.NewIterator(nullptr);
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      pinned_index_.push_back(
+          {it->key().ToString(), BlockHandle::Decode(it->value())});
+    }
+  }
   bloom_data_.assign(contents->data() + bloom_off, bloom_sz);
   bloom_ = std::make_unique<BloomFilter>(Slice(bloom_data_));
   opened_.store(true, std::memory_order_release);
   return Status::OK();
 }
+
+/// Cursor over the pinned index. Seek mirrors BlockReader::Iter::Seek's
+/// charge structure exactly (the index block is built with
+/// restart_interval=1, so every entry is a restart point): kSeekDataBlock 1
+/// plus kCompareInternalKeys per binary-search step, then
+/// kCompareInternalKeys per advancing linear-scan compare (the final
+/// non-advancing compare is not counted there either).
+class SstReader::PinnedIndexIter {
+ public:
+  PinnedIndexIter(const std::vector<SstIndexEntry>* entries,
+                  sim::AccessContext* ctx, SstReadStats* stats)
+      : entries_(entries), ctx_(ctx), stats_(stats) {}
+
+  bool Valid() const { return pos_ < entries_->size(); }
+  void SeekToFirst() { pos_ = 0; }
+  void Next() { ++pos_; }
+  Slice key() const { return Slice((*entries_)[pos_].key); }
+  const BlockHandle& handle() const { return (*entries_)[pos_].handle; }
+
+  void Seek(const Slice& target) {
+    const size_t n = entries_->size();
+    if (n == 0) {
+      pos_ = 0;  // invalid: matches the zero-restart early-out (uncharged)
+      return;
+    }
+    stats_->pinned_index_seeks.fetch_add(1, std::memory_order_relaxed);
+    size_t left = 0;
+    size_t right = n - 1;
+    uint64_t compares = 0;
+    while (left < right) {
+      const size_t mid = (left + right + 1) / 2;
+      ++compares;
+      if (CompareInternalKey(Slice((*entries_)[mid].key), target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    if (ctx_ != nullptr) {
+      ctx_->Charge(sim::CostKind::kSeekDataBlock, 1);
+      ctx_->Charge(sim::CostKind::kCompareInternalKeys, compares);
+    }
+    pos_ = left;
+    uint64_t scan_compares = 0;
+    while (pos_ < n &&
+           CompareInternalKey(Slice((*entries_)[pos_].key), target) < 0) {
+      ++scan_compares;
+      ++pos_;
+    }
+    if (ctx_ != nullptr && scan_compares > 0) {
+      ctx_->Charge(sim::CostKind::kCompareInternalKeys, scan_compares);
+    }
+  }
+
+ private:
+  const std::vector<SstIndexEntry>* entries_;
+  sim::AccessContext* ctx_;
+  SstReadStats* stats_;
+  size_t pos_ = 0;
+};
 
 Result<Slice> SstReader::ReadBlock(sim::AccessContext* ctx, BlockCache* cache,
                                    uint64_t offset, uint64_t size,
@@ -169,12 +248,12 @@ Status SstReader::Get(sim::AccessContext* ctx, BlockCache* cache,
   }
   const std::string lookup = MakeLookupKey(user_key, seq);
 
-  // Seek the sparse index for the block that may contain the key.
-  auto index_iter = index_block_->NewIterator(ctx);
+  // Seek the pinned sparse index for the block that may contain the key.
+  PinnedIndexIter index_iter(&pinned_index_, ctx, &read_stats_);
   if (ctx != nullptr) ctx->Charge(sim::CostKind::kSeekIndexBlock, 1);
-  index_iter->Seek(Slice(lookup));
-  if (!index_iter->Valid()) return Status::NotFound();
-  const BlockHandle handle = BlockHandle::Decode(index_iter->value());
+  index_iter.Seek(Slice(lookup));
+  if (!index_iter.Valid()) return Status::NotFound();
+  const BlockHandle& handle = index_iter.handle();
 
   HNDP_ASSIGN_OR_RETURN(Slice block_data,
                         ReadBlock(ctx, cache, handle.offset, handle.size,
@@ -203,16 +282,17 @@ Status SstReader::Get(sim::AccessContext* ctx, BlockCache* cache,
 class SstReader::TwoLevelIter final : public Iterator {
  public:
   TwoLevelIter(SstReader* reader, sim::AccessContext* ctx, BlockCache* cache)
-      : reader_(reader), ctx_(ctx), cache_(cache) {
-    index_iter_ = reader_->index_block_->NewIterator(ctx_);
-  }
+      : reader_(reader),
+        ctx_(ctx),
+        cache_(cache),
+        index_iter_(&reader->pinned_index_, ctx, &reader->read_stats_) {}
 
   bool Valid() const override {
     return data_iter_ != nullptr && data_iter_->Valid();
   }
 
   void SeekToFirst() override {
-    index_iter_->SeekToFirst();
+    index_iter_.SeekToFirst();
     InitDataBlock();
     if (data_iter_ != nullptr) data_iter_->SeekToFirst();
     SkipEmptyBlocks();
@@ -220,7 +300,7 @@ class SstReader::TwoLevelIter final : public Iterator {
 
   void Seek(const Slice& target) override {
     if (ctx_ != nullptr) ctx_->Charge(sim::CostKind::kSeekIndexBlock, 1);
-    index_iter_->Seek(target);
+    index_iter_.Seek(target);
     InitDataBlock();
     if (data_iter_ != nullptr) data_iter_->Seek(target);
     SkipEmptyBlocks();
@@ -239,8 +319,8 @@ class SstReader::TwoLevelIter final : public Iterator {
   void InitDataBlock() {
     data_iter_.reset();
     block_.reset();
-    if (!index_iter_->Valid()) return;
-    const BlockHandle handle = BlockHandle::Decode(index_iter_->value());
+    if (!index_iter_.Valid()) return;
+    const BlockHandle& handle = index_iter_.handle();
     auto rd = reader_->ReadBlock(ctx_, cache_, handle.offset, handle.size,
                                  /*sequential=*/true);
     if (!rd.ok()) {
@@ -254,7 +334,7 @@ class SstReader::TwoLevelIter final : public Iterator {
   /// Move to the next non-exhausted data block.
   void SkipEmptyBlocks() {
     while (data_iter_ != nullptr && !data_iter_->Valid()) {
-      index_iter_->Next();
+      index_iter_.Next();
       InitDataBlock();
       if (data_iter_ != nullptr) data_iter_->SeekToFirst();
     }
@@ -263,7 +343,7 @@ class SstReader::TwoLevelIter final : public Iterator {
   SstReader* reader_;
   sim::AccessContext* ctx_;
   BlockCache* cache_;
-  IteratorPtr index_iter_;
+  PinnedIndexIter index_iter_;
   std::unique_ptr<BlockReader> block_;
   IteratorPtr data_iter_;
   Status status_;

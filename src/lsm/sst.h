@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/bloom.h"
 #include "common/slice.h"
@@ -41,6 +42,22 @@ struct FileMetaData {
 
   Slice SmallestUserKey() const { return ExtractUserKey(Slice(smallest)); }
   Slice LargestUserKey() const { return ExtractUserKey(Slice(largest)); }
+};
+
+/// Decode an index-block value into (offset, size).
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  static BlockHandle Decode(const Slice& v);
+  std::string Encode() const;
+};
+
+/// One pinned (pre-decoded) sparse-index entry: last internal key of a data
+/// block and the block's location.
+struct SstIndexEntry {
+  std::string key;
+  BlockHandle handle;
 };
 
 /// Options shared by SST building and reading.
@@ -90,6 +107,9 @@ struct SstReadStats {
   std::atomic<uint64_t> block_read_bytes{0};  ///< bytes of those blocks
   std::atomic<uint64_t> block_cache_hits{0};  ///< block reads a cache absorbed
   std::atomic<uint64_t> index_loads{0};       ///< index+bloom decode loads
+  /// Seeks answered from the pinned (pre-decoded) index — every index seek
+  /// after the one-time decode at open.
+  std::atomic<uint64_t> pinned_index_seeks{0};
 };
 
 /// Read-side access to one SST. Readers are cheap to construct; the index
@@ -126,6 +146,7 @@ class SstReader {
 
  private:
   class TwoLevelIter;
+  class PinnedIndexIter;
 
   /// Charge + fetch one data block.
   Result<Slice> ReadBlock(sim::AccessContext* ctx, BlockCache* cache,
@@ -135,20 +156,13 @@ class SstReader {
   FileMetaData meta_;
   std::atomic<bool> opened_{false};
   std::mutex open_mu_;
-  Slice index_contents_;
-  std::unique_ptr<BlockReader> index_block_;
+  /// The sparse index, decoded once at open and pinned for the reader's
+  /// lifetime: index seeks binary-search this form instead of re-parsing
+  /// the serialized block (prefix compression, varints) on every lookup.
+  std::vector<SstIndexEntry> pinned_index_;
   std::string bloom_data_;
   std::unique_ptr<BloomFilter> bloom_;
   mutable SstReadStats read_stats_;
-};
-
-/// Decode an index-block value into (offset, size).
-struct BlockHandle {
-  uint64_t offset = 0;
-  uint64_t size = 0;
-
-  static BlockHandle Decode(const Slice& v);
-  std::string Encode() const;
 };
 
 }  // namespace hybridndp::lsm

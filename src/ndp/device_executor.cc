@@ -79,31 +79,41 @@ Result<DeviceRunResult> DeviceExecutor::Execute(
         std::make_unique<nkv::DeviceTableAccessor>(storage_, &t));
   }
 
-  // Drain one operator into batches of shared-slot granularity.
+  // Drain one operator into batches of shared-slot granularity. This stays
+  // a plain Next() loop on purpose: a batch-native NextBatch would look
+  // ahead past the slot boundary and shift work attribution between
+  // DeviceBatch windows, and routing the rows through a RowBatch adapter
+  // would only add a copy per row — the DeviceBatch itself is the batch
+  // the host-side StallingSourceOp consumes batch-wise.
   auto drain = [&](exec::Operator* op, size_t stream) -> Status {
     HNDP_RETURN_IF_ERROR(op->Open());
     std::vector<std::string> rows;
-    std::string row;
-    uint64_t batch_rows = 0, batch_bytes = 0;
+    const size_t rs = op->output_schema().row_size();
+    // Slot granularity in rows: rows are fixed-size, so the row path's
+    // byte threshold cuts after exactly ceil(slot_bytes / row_size) rows.
+    const size_t rows_per_slot =
+        rs > 0 ? static_cast<size_t>(
+                     (cmd.buffers.shared_slot_bytes + rs - 1) / rs)
+               : size_t{1};
+    uint64_t pending_rows = 0;
     SimNanos mark = ctx.now();
-    while (op->Next(&row)) {
+    std::string row_buf;
+    while (op->Next(&row_buf)) {
       // Core 1 copies the root result into a shared-buffer slot (Fig. 8).
-      ctx.ChargeCopy(row.size());
-      batch_bytes += row.size();
-      ++batch_rows;
-      rows.push_back(std::move(row));
-      if (batch_bytes >= cmd.buffers.shared_slot_bytes) {
-        result.batches.push_back(
-            DeviceBatch{stream, batch_rows, batch_bytes, ctx.now() - mark});
+      ctx.ChargeCopy(rs);
+      rows.push_back(row_buf);
+      if (++pending_rows == rows_per_slot) {
+        result.batches.push_back(DeviceBatch{
+            stream, pending_rows, pending_rows * rs, ctx.now() - mark});
         mark = ctx.now();
-        batch_rows = 0;
-        batch_bytes = 0;
+        pending_rows = 0;
       }
     }
-    if (batch_rows > 0 || result.batches.empty() ||
+    if (pending_rows > 0 || result.batches.empty() ||
         result.batches.back().stream != stream) {
-      result.batches.push_back(
-          DeviceBatch{stream, batch_rows, batch_bytes, ctx.now() - mark});
+      result.batches.push_back(DeviceBatch{stream, pending_rows,
+                                           pending_rows * rs,
+                                           ctx.now() - mark});
     }
     result.stream_schemas.push_back(op->output_schema());
     result.stream_rows.push_back(std::move(rows));

@@ -42,65 +42,15 @@ std::string CostCounters::BreakdownString() const {
   const SimNanos total = TotalTime();
   std::ostringstream os;
   for (int i = 0; i < kNumCostKinds; ++i) {
-    if (time_ns[i] <= 0) continue;
+    const SimNanos t = PicosToNanos(time_ps[i]);
+    if (t <= 0) continue;
     os.setf(std::ios::fixed);
     os.precision(2);
     os << "  " << CostKindName(static_cast<CostKind>(i)) << ": "
-       << (total > 0 ? time_ns[i] / total * 100.0 : 0.0) << "%  ("
-       << units[i] << " units, " << time_ns[i] / kNanosPerMilli << " ms)\n";
+       << (total > 0 ? t / total * 100.0 : 0.0) << "%  ("
+       << units[i] << " units, " << t / kNanosPerMilli << " ms)\n";
   }
   return os.str();
-}
-
-void AccessContext::Charge(CostKind kind, uint64_t units_count) {
-  double cycles = 0;
-  switch (kind) {
-    case CostKind::kMemcmp:
-      cycles = cycles_.memcmp_per_byte * units_count;
-      break;
-    case CostKind::kCompareInternalKeys:
-      cycles = cycles_.compare_internal_key * units_count;
-      break;
-    case CostKind::kSeekIndexBlock:
-      cycles = cycles_.seek_index_block * units_count;
-      break;
-    case CostKind::kSelectionProcessing:
-      cycles = cycles_.selection_per_record * units_count;
-      break;
-    case CostKind::kSeekDataBlock:
-      cycles = cycles_.seek_data_block * units_count;
-      break;
-    case CostKind::kHashBuild:
-      cycles = cycles_.hash_build * units_count;
-      break;
-    case CostKind::kHashProbe:
-      cycles = cycles_.hash_probe * units_count;
-      break;
-    case CostKind::kRecordEval:
-      cycles = cycles_.record_eval * units_count;
-      break;
-    case CostKind::kAggUpdate:
-      cycles = cycles_.agg_update * units_count;
-      break;
-    case CostKind::kOther:
-      cycles = static_cast<double>(units_count);  // raw cycles
-      break;
-    case CostKind::kCopy: {
-      const SimNanos t =
-          cpu().TimeForCopy(units_count) * copy_factor_;
-      counters_.Add(kind, units_count, t);
-      clock_.Advance(t);
-      return;
-    }
-    case CostKind::kFlashLoad:
-    case CostKind::kTransfer:
-    case CostKind::kNumKinds:
-      // Charged via the dedicated Charge{FlashRead,Transfer} entry points.
-      return;
-  }
-  const SimNanos t = cpu().TimeForCycles(cycles);
-  counters_.Add(kind, units_count, t);
-  clock_.Advance(t);
 }
 
 SimNanos AccessContext::PathOverhead(uint64_t bytes, bool random) const {
@@ -142,10 +92,6 @@ void AccessContext::ChargeTransfer(uint64_t bytes) {
   const SimNanos t = hw_->pcie.TransferTime(bytes);
   counters_.Add(CostKind::kTransfer, bytes, t);
   clock_.Advance(t);
-}
-
-void AccessContext::ChargeCopy(uint64_t bytes) {
-  Charge(CostKind::kCopy, bytes);
 }
 
 }  // namespace hybridndp::sim

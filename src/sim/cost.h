@@ -49,35 +49,42 @@ constexpr int kNumCostKinds = static_cast<int>(CostKind::kNumKinds);
 /// Display name for a cost kind (matches Table 4 vocabulary).
 const char* CostKindName(CostKind kind);
 
-/// Per-category tallies: units and simulated time.
+/// Per-category tallies: units and simulated time. Time is stored as
+/// integer picoseconds (quantized per charge, see SimPicos) so that sums are
+/// exact and independent of charge order; nanoseconds at the API boundary.
 struct CostCounters {
   std::array<uint64_t, kNumCostKinds> units{};
-  std::array<SimNanos, kNumCostKinds> time_ns{};
+  std::array<SimPicos, kNumCostKinds> time_ps{};
 
   void Add(CostKind kind, uint64_t u, SimNanos t) {
     units[static_cast<int>(kind)] += u;
-    time_ns[static_cast<int>(kind)] += t;
+    time_ps[static_cast<int>(kind)] += NanosToPicos(t);
+  }
+  /// Add an already-quantized total (see AccessContext::ChargeRepeated).
+  void AddQuantized(CostKind kind, uint64_t u, SimPicos ps) {
+    units[static_cast<int>(kind)] += u;
+    time_ps[static_cast<int>(kind)] += ps;
   }
   uint64_t Units(CostKind kind) const {
     return units[static_cast<int>(kind)];
   }
   SimNanos Time(CostKind kind) const {
-    return time_ns[static_cast<int>(kind)];
+    return PicosToNanos(time_ps[static_cast<int>(kind)]);
   }
   SimNanos TotalTime() const {
-    SimNanos t = 0;
-    for (auto v : time_ns) t += v;
-    return t;
+    SimPicos t = 0;
+    for (auto v : time_ps) t += v;
+    return PicosToNanos(t);
   }
   void Merge(const CostCounters& other) {
     for (int i = 0; i < kNumCostKinds; ++i) {
       units[i] += other.units[i];
-      time_ns[i] += other.time_ns[i];
+      time_ps[i] += other.time_ps[i];
     }
   }
   void Reset() {
     units.fill(0);
-    time_ns.fill(0);
+    time_ps.fill(0);
   }
   /// Percent-of-total rendering in the style of paper Table 4 (right).
   std::string BreakdownString() const;
@@ -102,7 +109,23 @@ struct CostCycleTable {
 class AccessContext {
  public:
   AccessContext(const HwParams* hw, Actor actor, IoPath path)
-      : hw_(hw), actor_(actor), path_(path) {}
+      : hw_(hw), actor_(actor), path_(path) {
+    // Per-kind cycle factors, indexed by CostKind for the inline Charge.
+    // kFlashLoad/kCopy/kTransfer never read their slot (special-cased).
+    cycles_per_unit_ = {cycles_.memcmp_per_byte,
+                        cycles_.compare_internal_key,
+                        cycles_.seek_index_block,
+                        cycles_.selection_per_record,
+                        cycles_.seek_data_block,
+                        0.0,  // kFlashLoad
+                        1.0,  // kOther: raw cycles
+                        cycles_.hash_build,
+                        cycles_.hash_probe,
+                        0.0,  // kCopy
+                        cycles_.record_eval,
+                        cycles_.agg_update,
+                        0.0};  // kTransfer
+  }
 
   Actor actor() const { return actor_; }
   IoPath path() const { return path_; }
@@ -112,8 +135,65 @@ class AccessContext {
   const CostCounters& counters() const { return counters_; }
   CostCounters* mutable_counters() { return &counters_; }
 
-  /// Charge `units` of CPU-type work of the given kind.
-  void Charge(CostKind kind, uint64_t units_count);
+  /// Charge `units` of CPU-type work of the given kind. Inline: this is the
+  /// hottest function in the engine (one call per row per operator, tens of
+  /// millions per bench run). The cycle math matches CostCycleTable member
+  /// by member, so simulated values are unaffected by the inlining.
+  void Charge(CostKind kind, uint64_t units_count) {
+    switch (kind) {
+      case CostKind::kCopy: {
+        const SimNanos t = cpu().TimeForCopy(units_count) * copy_factor_;
+        counters_.Add(kind, units_count, t);
+        clock_.Advance(t);
+        return;
+      }
+      case CostKind::kFlashLoad:
+      case CostKind::kTransfer:
+      case CostKind::kNumKinds:
+        // Charged via the dedicated Charge{FlashRead,Transfer} entry points.
+        return;
+      default: {
+        const double cycles =
+            cycles_per_unit_[static_cast<int>(kind)] * units_count;
+        const SimNanos t = cpu().TimeForCycles(cycles);
+        counters_.Add(kind, units_count, t);
+        clock_.Advance(t);
+      }
+    }
+  }
+
+  /// Charge `n` repetitions of an identical charge (`units_each` units of
+  /// `kind`) in one step. Bit-identical to calling Charge(kind, units_each)
+  /// n times: every repetition quantizes to the same integer-picosecond
+  /// value, so their sum is exactly n times that quantum. This is how the
+  /// batch path amortizes per-row accounting (DESIGN.md §10): a batch of
+  /// uniform rows pays one multiply instead of n float-to-pico conversions.
+  void ChargeRepeated(CostKind kind, uint64_t units_each, uint64_t n) {
+    if (n == 0) return;
+    SimNanos t;
+    switch (kind) {
+      case CostKind::kCopy:
+        t = cpu().TimeForCopy(units_each) * copy_factor_;
+        break;
+      case CostKind::kFlashLoad:
+      case CostKind::kTransfer:
+      case CostKind::kNumKinds:
+        // Charged via the dedicated Charge{FlashRead,Transfer} entry points.
+        return;
+      default:
+        t = cpu().TimeForCycles(cycles_per_unit_[static_cast<int>(kind)] *
+                                units_each);
+    }
+    const SimPicos total_ps =
+        static_cast<SimPicos>(n) * NanosToPicos(t);
+    counters_.AddQuantized(kind, units_each * n, total_ps);
+    clock_.AdvancePicos(total_ps);
+  }
+
+  /// Charge `n` identical bulk copies of `bytes_each` (see ChargeRepeated).
+  void ChargeCopyRepeated(uint64_t bytes_each, uint64_t n) {
+    ChargeRepeated(CostKind::kCopy, bytes_each, n);
+  }
 
   /// Charge a sequential flash read of `bytes`, routed through this
   /// context's I/O path (internal only / +PCIe / +PCIe +FS overhead).
@@ -127,7 +207,7 @@ class AccessContext {
   void ChargeTransfer(uint64_t bytes);
 
   /// Charge an explicit bulk copy.
-  void ChargeCopy(uint64_t bytes);
+  void ChargeCopy(uint64_t bytes) { Charge(CostKind::kCopy, bytes); }
 
   /// Charge a fixed latency (e.g. NDP command setup).
   void ChargeLatency(SimNanos ns) { clock_.Advance(ns); }
@@ -158,6 +238,7 @@ class AccessContext {
   SimClock clock_;
   CostCounters counters_;
   CostCycleTable cycles_;
+  std::array<double, kNumCostKinds> cycles_per_unit_{};
 };
 
 }  // namespace hybridndp::sim

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <set>
 
@@ -109,6 +111,38 @@ class ExecTest : public ::testing::Test {
                        std::vector<std::string> proj = {}) {
     return std::make_unique<TableScanOp>(dept_, "d", ReadOpts(),
                                          std::move(pred), std::move(proj));
+  }
+
+  /// Runs the tree produced by `build(ctx)` row-at-a-time once and batched
+  /// at each capacity in `batch_sizes`, asserting identical output rows and
+  /// bit-identical simulated charges (units and picoseconds per cost kind).
+  void ExpectBatchMatchesRow(
+      const std::function<OperatorPtr(AccessContext*)>& build,
+      const std::vector<size_t>& batch_sizes) {
+    // Warm-up run: SST readers decode their index lazily and charge that
+    // load to whichever context touches them first. Readers are shared
+    // across runs, so absorb the one-time opens here to keep every measured
+    // context's charge stream identical.
+    {
+      AccessContext warm(&hw_, Actor::kHost, IoPath::kNative);
+      auto op = build(&warm);
+      ASSERT_TRUE(CollectAll(op.get()).ok());
+    }
+    AccessContext row_ctx(&hw_, Actor::kHost, IoPath::kNative);
+    auto row_op = build(&row_ctx);
+    auto row_rows = CollectAll(row_op.get());
+    ASSERT_TRUE(row_rows.ok());
+    for (size_t n : batch_sizes) {
+      AccessContext ctx(&hw_, Actor::kHost, IoPath::kNative);
+      auto op = build(&ctx);
+      auto rows = CollectAllBatched(op.get(), n);
+      ASSERT_TRUE(rows.ok()) << "batch_rows=" << n;
+      EXPECT_EQ(*rows, *row_rows) << "batch_rows=" << n;
+      EXPECT_EQ(ctx.counters().units, row_ctx.counters().units)
+          << "batch_rows=" << n;
+      EXPECT_EQ(ctx.counters().time_ps, row_ctx.counters().time_ps)
+          << "batch_rows=" << n;
+    }
   }
 
   HwParams hw_;
@@ -411,6 +445,167 @@ TEST_F(ExecTest, OperatorsChargeCosts) {
   EXPECT_GT(ctx_.counters().Units(sim::CostKind::kHashProbe), 0u);
   EXPECT_GT(ctx_.counters().Units(sim::CostKind::kFlashLoad), 0u);
   EXPECT_GT(ctx_.now(), 0.0);
+}
+
+// --- Batch execution (DESIGN.md §10) ---------------------------------------
+
+TEST(RowBatchTest, SelectionNarrowsInPlace) {
+  rel::Schema schema({IntCol("a"), CharCol("s", 4)});
+  RowBatch b;
+  b.Reset(&schema, 4);
+  EXPECT_EQ(b.capacity(), 4u);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_FALSE(b.full());
+
+  // PeekRow without CommitRow leaves the slot uncommitted: a join that
+  // writes the concatenation first and then fails the residual discards by
+  // simply not committing.
+  memset(b.PeekRow(), 0xab, schema.row_size());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.num_active(), 0u);
+
+  for (int i = 0; i < 4; ++i) {
+    RowBuilder rb(&schema);
+    rb.SetInt(0, i).SetString(1, std::string(1, static_cast<char>('a' + i)));
+    b.AppendCopy(rb.row().data());
+  }
+  EXPECT_TRUE(b.full());
+  ASSERT_EQ(b.num_active(), 4u);
+  for (uint32_t k = 0; k < 4; ++k) EXPECT_EQ(b.sel(k), k);  // identity
+
+  // Filters narrow by rewriting a prefix of the selection vector; the
+  // physical rows stay put.
+  uint32_t* sel = b.mutable_sel();
+  sel[0] = 1;
+  sel[1] = 3;
+  b.SetNumActive(2);
+  EXPECT_EQ(b.size(), 4u);
+  ASSERT_EQ(b.num_active(), 2u);
+  EXPECT_EQ(RowView(b.active_row(0), &schema).GetInt(0), 1);
+  EXPECT_EQ(RowView(b.active_row(1), &schema).GetInt(0), 3);
+  EXPECT_EQ(RowView(b.row(0), &schema).GetInt(0), 0);  // still addressable
+}
+
+TEST(RowBatchTest, ResetReusesStorageAndRegrows) {
+  rel::Schema narrow({IntCol("a")});
+  rel::Schema wide({IntCol("a"), CharCol("pad", 60)});
+  RowBatch b;
+  b.Reset(&narrow, 8);
+  for (int i = 0; i < 8; ++i) {
+    RowBuilder rb(&narrow);
+    rb.SetInt(0, i);
+    b.AppendCopy(rb.row().data());
+  }
+  EXPECT_TRUE(b.full());
+
+  // Shrinking reuses the existing storage and empties the batch.
+  b.Reset(&narrow, 2);
+  EXPECT_EQ(b.capacity(), 2u);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.num_active(), 0u);
+  RowBuilder rb(&narrow);
+  rb.SetInt(0, 42);
+  b.AppendCopy(rb.row().data());
+  EXPECT_EQ(RowView(b.row(0), &narrow).GetInt(0), 42);
+
+  // Regrowing to a wider schema and a larger capacity.
+  b.Reset(&wide, 1000);
+  EXPECT_EQ(b.capacity(), 1000u);
+  EXPECT_EQ(b.row_size(), wide.row_size());
+  for (int i = 0; i < 1000; ++i) {
+    RowBuilder rw(&wide);
+    rw.SetInt(0, i).SetString(1, "x");
+    b.AppendCopy(rw.row().data());
+  }
+  EXPECT_TRUE(b.full());
+  EXPECT_EQ(RowView(b.row(999), &wide).GetInt(0), 999);
+}
+
+TEST_F(ExecTest, FilterNextBatchCompactsSelection) {
+  // FilterOp::NextBatch narrows the child batch's selection in place: the
+  // surviving indexes form a strictly increasing prefix and all survivors
+  // satisfy the predicate.
+  auto scan = ScanEmp();
+  auto filter = std::make_unique<FilterOp>(
+      std::move(scan), Expr::CmpInt("e.salary", CmpOp::kGe, 4000), &ctx_);
+  ASSERT_TRUE(filter->Open().ok());
+  const auto& schema = filter->output_schema();
+  const int salary_col = schema.Find("e.salary");
+  ASSERT_GE(salary_col, 0);
+  size_t survivors = 0;
+  while (RowBatch* b = filter->NextBatch(64)) {
+    EXPECT_LE(b->num_active(), b->size());
+    uint32_t prev = 0;
+    for (size_t k = 0; k < b->num_active(); ++k) {
+      if (k > 0) EXPECT_GT(b->sel(k), prev);
+      prev = b->sel(k);
+      EXPECT_GE(RowView(b->active_row(k), &schema).GetInt(salary_col), 4000);
+      ++survivors;
+    }
+  }
+  filter->Close();
+  // Reference count.
+  size_t expected = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (1000 + (i * 37) % 5000 >= 4000) ++expected;
+  }
+  EXPECT_EQ(survivors, expected);
+}
+
+TEST_F(ExecTest, BatchedScanFilterProjectJoinMatchesRowExecution) {
+  // Covers the capacity boundaries: batch size 1, an exact multiple of the
+  // 500-row scan (100), a ragged tail (137), and larger-than-input (1024).
+  auto build = [this](AccessContext* ctx) -> OperatorPtr {
+    lsm::ReadOptions o;
+    o.ctx = ctx;
+    auto scan_e = std::make_unique<TableScanOp>(
+        emp_, "e", o, Expr::CmpInt("e.salary", CmpOp::kGe, 2000),
+        std::vector<std::string>{});
+    auto scan_d = std::make_unique<TableScanOp>(
+        dept_, "d", o, nullptr, std::vector<std::string>{});
+    auto join = std::make_unique<BlockNLJoinOp>(
+        std::move(scan_e), std::move(scan_d),
+        std::vector<JoinKey>{{"e.dept_id", "d.id"}}, nullptr, 4 << 10, ctx);
+    auto filter = std::make_unique<FilterOp>(
+        std::move(join), Expr::CmpInt("d.budget", CmpOp::kGe, 30000), ctx);
+    return std::make_unique<ProjectOp>(
+        std::move(filter), std::vector<std::string>{"e.name", "d.dname"}, ctx);
+  };
+  ExpectBatchMatchesRow(build, {1, 100, 137, 1024});
+}
+
+TEST_F(ExecTest, BatchedIndexedJoinAndAggMatchRowExecution) {
+  auto build = [this](AccessContext* ctx) -> OperatorPtr {
+    lsm::ReadOptions o;
+    o.ctx = ctx;
+    auto scan_d = std::make_unique<TableScanOp>(
+        dept_, "d", o, nullptr, std::vector<std::string>{});
+    auto join = std::make_unique<BlockNLIndexJoinOp>(
+        std::move(scan_d), "d.id", emp_, "e", "dept_id", o, nullptr,
+        std::vector<std::string>{}, 1 << 10, ctx);
+    return std::make_unique<GroupByAggOp>(
+        std::move(join), std::vector<std::string>{"d.dname"},
+        std::vector<AggSpec>{{AggFn::kCount, "", "cnt"},
+                             {AggFn::kSum, "e.salary", "total"},
+                             {AggFn::kMin, "e.salary", "lo"}},
+        ctx);
+  };
+  ExpectBatchMatchesRow(build, {1, 5, 20, 64});
+}
+
+TEST_F(ExecTest, BatchedGraceHashJoinMatchesRowExecution) {
+  auto build = [this](AccessContext* ctx) -> OperatorPtr {
+    lsm::ReadOptions o;
+    o.ctx = ctx;
+    auto scan_d = std::make_unique<TableScanOp>(
+        dept_, "d", o, nullptr, std::vector<std::string>{});
+    auto scan_e = std::make_unique<TableScanOp>(
+        emp_, "e", o, nullptr, std::vector<std::string>{});
+    return std::make_unique<GraceHashJoinOp>(
+        std::move(scan_d), std::move(scan_e),
+        std::vector<JoinKey>{{"d.id", "e.dept_id"}}, nullptr, 4, ctx);
+  };
+  ExpectBatchMatchesRow(build, {1, 100, 137, 1024});
 }
 
 TEST_F(ExecTest, ExprSplitConjuncts) {

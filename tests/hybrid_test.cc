@@ -567,7 +567,7 @@ TEST_F(HybridTest, TracingDoesNotPerturbSimulatedMetrics) {
     EXPECT_EQ(plain->rows, traced->rows);
     EXPECT_EQ(plain->total_ns, traced->total_ns);  // bit-identical
     EXPECT_EQ(plain->host_counters.units, traced->host_counters.units);
-    EXPECT_EQ(plain->host_counters.time_ns, traced->host_counters.time_ns);
+    EXPECT_EQ(plain->host_counters.time_ps, traced->host_counters.time_ps);
     EXPECT_EQ(plain->device_counters.units, traced->device_counters.units);
     EXPECT_EQ(plain->device_stall_ns, traced->device_stall_ns);
     EXPECT_EQ(plain->trace_host_track, -1);

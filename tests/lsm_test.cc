@@ -304,6 +304,78 @@ TEST_F(SstTest, BlockCacheAbsorbsRepeatedReads) {
   EXPECT_GT(cache.hits(), 0u);
 }
 
+TEST_F(SstTest, OversizedEntriesEachGetTheirOwnBlock) {
+  // Regression: an entry bigger than the whole block-size target must still
+  // be emitted (one-entry block), and it must not drag the preceding or
+  // following small entries into a mis-sized block.
+  SstOptions opts;
+  opts.block_size = 64;
+  SstBuilder builder(&storage_, opts);
+  const std::string big_value(200, 'x');  // > block_size on its own
+  builder.Add(IKey("a_small", 1), "v1");
+  builder.Add(IKey("b_big", 1), big_value);
+  builder.Add(IKey("c_big", 1), big_value);
+  builder.Add(IKey("d_small", 1), "v2");
+  auto meta = builder.Finish();
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->num_entries, 4u);
+
+  SstReader reader(&storage_, *meta);
+  std::string value;
+  bool deleted = false;
+  for (const auto& [k, v] :
+       std::map<std::string, std::string>{{"a_small", "v1"},
+                                          {"b_big", big_value},
+                                          {"c_big", big_value},
+                                          {"d_small", "v2"}}) {
+    ASSERT_TRUE(reader.Get(nullptr, nullptr, k, kMaxSequenceNumber, &value,
+                           &deleted)
+                    .ok())
+        << k;
+    EXPECT_EQ(value, v) << k;
+    EXPECT_FALSE(deleted);
+  }
+  auto iter = reader.NewIterator(nullptr, nullptr);
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) ++count;
+  EXPECT_EQ(count, 4);
+}
+
+TEST_F(SstTest, FirstAddOversizedStillEmitsOneEntryBlock) {
+  SstOptions opts;
+  opts.block_size = 64;
+  SstBuilder builder(&storage_, opts);
+  builder.Add(IKey("only", 1), std::string(500, 'y'));
+  auto meta = builder.Finish();
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->num_entries, 1u);
+  SstReader reader(&storage_, *meta);
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(reader.Get(nullptr, nullptr, "only", kMaxSequenceNumber, &value,
+                         &deleted)
+                  .ok());
+  EXPECT_EQ(value, std::string(500, 'y'));
+}
+
+TEST_F(SstTest, PinnedIndexServesSeeksAfterSingleLoad) {
+  FileMetaData meta = BuildFile(2000);
+  SstReader reader(&storage_, meta);
+  std::string value;
+  bool deleted = false;
+  for (int i = 0; i < 50; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%06d", i * 37);
+    ASSERT_TRUE(reader.Get(nullptr, nullptr, buf, kMaxSequenceNumber, &value,
+                           &deleted)
+                    .ok());
+  }
+  // The serialized index was decoded exactly once; every Get's index seek
+  // was answered from the pinned decoded form.
+  EXPECT_EQ(reader.read_stats().index_loads.load(), 1u);
+  EXPECT_EQ(reader.read_stats().pinned_index_seeks.load(), 50u);
+}
+
 TEST(BlockCacheTest, EvictsLruBeyondCapacity) {
   BlockCache cache(100);
   cache.Insert(1, 0, 60);

@@ -245,9 +245,9 @@ class RunAllTest : public ::testing::Test {
     EXPECT_EQ(a.rows, b.rows);  // exact vector equality, including order
     EXPECT_EQ(a.total_ns, b.total_ns);
     EXPECT_EQ(a.host_counters.units, b.host_counters.units);
-    EXPECT_EQ(a.host_counters.time_ns, b.host_counters.time_ns);
+    EXPECT_EQ(a.host_counters.time_ps, b.host_counters.time_ps);
     EXPECT_EQ(a.device_counters.units, b.device_counters.units);
-    EXPECT_EQ(a.device_counters.time_ns, b.device_counters.time_ns);
+    EXPECT_EQ(a.device_counters.time_ps, b.device_counters.time_ps);
     EXPECT_EQ(a.host_stages.ndp_setup, b.host_stages.ndp_setup);
     EXPECT_EQ(a.host_stages.initial_wait, b.host_stages.initial_wait);
     EXPECT_EQ(a.host_stages.later_waits, b.host_stages.later_waits);
@@ -314,6 +314,45 @@ TEST_F(RunAllTest, ParallelMatchesSerialBitForBit) {
     ASSERT_TRUE(again[i].ok());
     SCOPED_TRACE(choices[i].ToString());
     ExpectIdentical(serial[i], *again[i]);
+  }
+}
+
+// ISSUE PR3 acceptance: the batch-vectorized pipeline must be simulated-
+// metric bit-identical to row-at-a-time execution for every strategy,
+// across batch sizes that exercise ragged tails (1, 7) and the default.
+TEST_F(RunAllTest, BatchedExecutionMatchesRowExecutionBitForBit) {
+  auto cfg = MakePlannerConfig();
+  hybrid::Planner planner(&catalog_, &hw_, cfg);
+  auto plan = planner.PlanQuery(MakeQuery());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  db_.OpenAllReaders();
+
+  const uint64_t cache_bytes = 1 << 20;
+  auto run_with_batch = [&](size_t batch_rows) {
+    auto run_cfg = cfg;
+    run_cfg.exec_batch_rows = batch_rows;
+    hybrid::HybridExecutor executor(&catalog_, &storage_, &hw_, run_cfg);
+    std::vector<hybrid::RunResult> results;
+    for (const auto& choice : hybrid::HybridExecutor::AllChoices(*plan)) {
+      lsm::BlockCache cache(cache_bytes);
+      auto r = executor.Run(*plan, choice, &cache);
+      EXPECT_TRUE(r.ok()) << choice.ToString() << ": "
+                          << r.status().ToString();
+      results.push_back(std::move(*r));
+    }
+    return results;
+  };
+
+  const auto row_mode = run_with_batch(0);
+  ASSERT_GE(row_mode.size(), 4u);
+  for (size_t batch_rows : {size_t{1}, size_t{7}, size_t{1024}}) {
+    const auto batched = run_with_batch(batch_rows);
+    ASSERT_EQ(batched.size(), row_mode.size());
+    for (size_t i = 0; i < row_mode.size(); ++i) {
+      SCOPED_TRACE("batch_rows=" + std::to_string(batch_rows) + " choice#" +
+                   std::to_string(i));
+      ExpectIdentical(row_mode[i], batched[i]);
+    }
   }
 }
 

@@ -248,6 +248,53 @@ TEST_P(PropertyTest, EveryStrategyMatchesBruteForceReference) {
   EXPECT_GE(executed, 3);  // at least BLK, NATIVE and one offload variant
 }
 
+// PR3 batch execution: for the same random operator tree, the batched
+// pipeline must produce the same rows AND the same simulated metrics as the
+// row-at-a-time pipeline, for every strategy, at a random batch capacity.
+TEST_P(PropertyTest, BatchedExecutionMatchesRowExecutionOnRandomTrees) {
+  Rng rng(GetParam() * 31337 + 7);
+  bool uses_b = false;
+  Query q = MakeRandomQuery(&rng, &uses_b);
+
+  hybrid::Planner planner(&catalog_, &hw_, MakePlannerConfig());
+  auto plan = planner.PlanQuery(q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  auto run_all = [&](size_t batch_rows) {
+    hybrid::PlannerConfig cfg = MakePlannerConfig();
+    cfg.exec_batch_rows = batch_rows;
+    hybrid::HybridExecutor executor(&catalog_, &storage_, &hw_, cfg);
+    std::vector<Result<hybrid::RunResult>> out;
+    for (const auto& choice : hybrid::HybridExecutor::AllChoices(*plan)) {
+      lsm::BlockCache cache(16 << 20);
+      out.push_back(executor.Run(*plan, choice, &cache));
+    }
+    return out;
+  };
+
+  auto row_mode = run_all(0);
+  const size_t batch_rows = 1 + rng.Uniform(200);
+  auto batch_mode = run_all(batch_rows);
+  ASSERT_EQ(row_mode.size(), batch_mode.size());
+  for (size_t i = 0; i < row_mode.size(); ++i) {
+    SCOPED_TRACE("choice " + std::to_string(i) + " batch_rows=" +
+                 std::to_string(batch_rows));
+    ASSERT_EQ(row_mode[i].ok(), batch_mode[i].ok());
+    if (!row_mode[i].ok()) continue;
+    const auto& a = *row_mode[i];
+    const auto& b = *batch_mode[i];
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.total_ns, b.total_ns);
+    EXPECT_EQ(a.host_counters.units, b.host_counters.units);
+    EXPECT_EQ(a.host_counters.time_ps, b.host_counters.time_ps);
+    EXPECT_EQ(a.device_counters.units, b.device_counters.units);
+    EXPECT_EQ(a.device_counters.time_ps, b.device_counters.time_ps);
+    EXPECT_EQ(a.device_rows, b.device_rows);
+    EXPECT_EQ(a.transferred_bytes, b.transferred_bytes);
+    EXPECT_EQ(a.num_batches, b.num_batches);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(1, 13));
 
 }  // namespace
