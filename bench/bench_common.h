@@ -24,6 +24,7 @@
 #include "job/queries.h"
 #include "lsm/db.h"
 #include "obs/trace.h"
+#include "sim/fault.h"
 #include "sim/hw_model.h"
 
 namespace hybridndp::bench {
@@ -158,6 +159,20 @@ inline std::unique_ptr<BenchEnv> MakeJobEnv(double default_scale = 0.001) {
             st.ToString().c_str());
     exit(1);
   }
+  // Arm fault injection (HNDP_FAULTS) only after the database is built:
+  // the benches study query-time failures, not load-time ones, and a
+  // storage.write fault during loading would abort the whole run. A
+  // malformed spec is a hard error — silently running the fault matrix
+  // without faults would green-light a broken CI configuration.
+  if (const char* s = std::getenv("HNDP_FAULTS"); s != nullptr && *s != '\0') {
+    Status fault_st = sim::FaultInjector::Global().InitFromEnv();
+    if (!fault_st.ok()) {
+      fprintf(stderr, "bad HNDP_FAULTS spec: %s\n",
+              fault_st.ToString().c_str());
+      exit(1);
+    }
+    fprintf(stderr, "# faults armed: %s\n", s);
+  }
   env->planner = std::make_unique<hybrid::Planner>(
       env->catalog.get(), &env->hw, env->planner_config);
   env->executor = std::make_unique<hybrid::HybridExecutor>(
@@ -215,6 +230,10 @@ inline std::vector<Result<hybrid::RunResult>> RunAllChoices(
 inline void ExportTrace(BenchEnv* env) {
   if (env->trace == nullptr || env->trace_path.empty()) return;
   if (env->db != nullptr) env->db->ExportMetrics(env->trace->metrics());
+  // Gauge-style and a no-op while disarmed, so zero-fault exports are
+  // byte-identical (and stall-only specs — which never fall back — still
+  // surface their hndp.fault.* tallies).
+  sim::FaultInjector::Global().ExportMetrics(env->trace->metrics());
   if (!obs::WriteFile(env->trace_path, env->trace->ToChromeJson())) {
     fprintf(stderr, "# failed to write trace to %s\n",
             env->trace_path.c_str());

@@ -60,9 +60,11 @@ class Status {
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
   }
+  bool IsAborted() const { return code_ == Code::kAborted; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -14,6 +14,7 @@ GroupByAggOp::GroupByAggOp(OperatorPtr child,
       ctx_(ctx) {}
 
 Status GroupByAggOp::Open() {
+  status_ = Status::OK();
   HNDP_RETURN_IF_ERROR(child_->Open());
   const Schema& in = child_->output_schema();
 
@@ -177,7 +178,11 @@ void GroupByAggOp::EmitGroupInto(char* dst) const {
 
 bool GroupByAggOp::Next(std::string* row) {
   if (!consumed_) {
-    if (!Consume().ok()) return false;
+    Status s = Consume();
+    if (!s.ok()) {
+      status_ = std::move(s);
+      return false;
+    }
   }
   if (emit_it_ == groups_.end()) return false;
 
@@ -191,7 +196,11 @@ bool GroupByAggOp::Next(std::string* row) {
 
 RowBatch* GroupByAggOp::NextBatch(size_t max_rows) {
   if (!consumed_) {
-    if (!ConsumeBatched(max_rows).ok()) return nullptr;
+    Status s = ConsumeBatched(max_rows);
+    if (!s.ok()) {
+      status_ = std::move(s);
+      return nullptr;
+    }
   }
   if (emit_it_ == groups_.end()) return nullptr;
   batch_.Reset(&out_schema_, max_rows);

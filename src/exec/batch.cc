@@ -9,6 +9,15 @@ RowBatch* Operator::NextBatch(size_t max_rows) {
   return FillBatchViaNext(max_rows);
 }
 
+Status TreeStatus(const Operator& root) {
+  if (!root.status().ok()) return root.status();
+  Status s;
+  root.ForEachChild([&s](const Operator& child) {
+    if (s.ok()) s = TreeStatus(child);
+  });
+  return s;
+}
+
 RowBatch* Operator::FillBatchViaNext(size_t max_rows) {
   adapter_batch_.Reset(&output_schema(), max_rows);
   while (!adapter_batch_.full()) {
@@ -30,6 +39,8 @@ Result<std::vector<std::string>> CollectAllBatched(Operator* op,
     }
   }
   op->Close();
+  // nullptr means end-of-stream OR error; disambiguate before returning.
+  HNDP_RETURN_IF_ERROR(TreeStatus(*op));
   return rows;
 }
 

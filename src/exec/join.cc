@@ -100,6 +100,7 @@ Status NestedLoopJoinOp::BindKeys() {
 }
 
 Status NestedLoopJoinOp::Open() {
+  status_ = Status::OK();
   HNDP_RETURN_IF_ERROR(outer_->Open());
   HNDP_RETURN_IF_ERROR(inner_->Open());
   HNDP_RETURN_IF_ERROR(BindKeys());
@@ -117,7 +118,10 @@ bool NestedLoopJoinOp::Next(std::string* row) {
       if (!outer_->Next(&outer_row_)) return false;
       have_outer_ = true;
       Status s = inner_->Rewind();
-      if (!s.ok()) return false;
+      if (!s.ok()) {
+        status_ = std::move(s);
+        return false;
+      }
     }
     while (inner_->Next(&inner_row_)) {
       // Compare all key columns byte-wise.
@@ -158,6 +162,7 @@ BlockNLJoinOp::BlockNLJoinOp(OperatorPtr outer, OperatorPtr inner,
       ctx_(ctx) {}
 
 Status BlockNLJoinOp::Open() {
+  status_ = Status::OK();
   HNDP_RETURN_IF_ERROR(outer_->Open());
   HNDP_RETURN_IF_ERROR(inner_->Open());
   HNDP_RETURN_IF_ERROR(ResolveKeys(keys_, outer_->output_schema(),
@@ -266,7 +271,10 @@ RowBatch* BlockNLJoinOp::NextBatch(size_t max_rows) {
       if (batch_.num_active() > 0) return &batch_;
       if (outer_exhausted_) return nullptr;
       Status s = LoadNextBlockBatched();
-      if (!s.ok()) return nullptr;
+      if (!s.ok()) {
+        status_ = std::move(s);
+        return nullptr;
+      }
       continue;
     }
     // Emit remaining matches of the current inner row.
@@ -314,7 +322,11 @@ bool BlockNLJoinOp::Next(std::string* row) {
     if (!block_active_) {
       if (outer_exhausted_) return false;
       Status s = LoadNextBlock();
-      if (!s.ok() || outer_exhausted_) return false;
+      if (!s.ok()) {
+        status_ = std::move(s);
+        return false;
+      }
+      if (outer_exhausted_) return false;
     }
     // Emit remaining matches of the current inner row.
     while (have_inner_ && match_range_.first != match_range_.second) {
@@ -378,6 +390,7 @@ BlockNLIndexJoinOp::BlockNLIndexJoinOp(
 }
 
 Status BlockNLIndexJoinOp::Open() {
+  status_ = Status::OK();
   HNDP_RETURN_IF_ERROR(outer_->Open());
   if (inner_join_col_ < 0) {
     return Status::InvalidArgument("BNLJI: unknown inner join column");
@@ -518,14 +531,20 @@ bool BlockNLIndexJoinOp::Next(std::string* row) {
     if (block_.empty()) {
       if (outer_exhausted_) return false;
       Status s = LoadNextBlock();
-      if (!s.ok()) return false;
+      if (!s.ok()) {
+        status_ = std::move(s);
+        return false;
+      }
       continue;
     }
     current_outer_ = std::move(block_.front());
     block_.pop_front();
     const RowView view(current_outer_.data(), &lschema);
     Status s = FetchMatches(view);
-    if (!s.ok()) return false;
+    if (!s.ok()) {
+      status_ = std::move(s);
+      return false;
+    }
   }
 }
 
@@ -546,14 +565,22 @@ RowBatch* BlockNLIndexJoinOp::NextBatch(size_t max_rows) {
       if (batch_.num_active() > 0) return &batch_;  // before any child pull
       if (outer_exhausted_) return nullptr;
       Status s = LoadNextBlockBatched();
-      if (!s.ok()) return nullptr;
+      if (!s.ok()) {
+        status_ = std::move(s);
+        return nullptr;
+      }
       continue;
     }
     current_outer_ = std::move(block_.front());
     block_.pop_front();
     const RowView view(current_outer_.data(), &lschema);
     Status s = FetchMatches(view);
-    if (!s.ok()) return nullptr;
+    if (!s.ok()) {
+      // Rows already placed in batch_ stay delivered; the stream ends on
+      // the next call and the drain surfaces status_.
+      status_ = std::move(s);
+      return batch_.num_active() > 0 ? &batch_ : nullptr;
+    }
   }
 }
 
@@ -575,6 +602,7 @@ GraceHashJoinOp::GraceHashJoinOp(OperatorPtr left, OperatorPtr right,
       ctx_(ctx) {}
 
 Status GraceHashJoinOp::Open() {
+  status_ = Status::OK();
   HNDP_RETURN_IF_ERROR(left_->Open());
   HNDP_RETURN_IF_ERROR(right_->Open());
   HNDP_RETURN_IF_ERROR(ResolveKeys(keys_, left_->output_schema(),
@@ -673,7 +701,11 @@ Status GraceHashJoinOp::PartitionBatched(size_t max_rows) {
 
 RowBatch* GraceHashJoinOp::NextBatch(size_t max_rows) {
   if (!partitioned_) {
-    if (!PartitionBatched(max_rows).ok()) return nullptr;
+    Status s = PartitionBatched(max_rows);
+    if (!s.ok()) {
+      status_ = std::move(s);
+      return nullptr;
+    }
     part_ = 0;
     StartPartition(0);
   }
@@ -716,7 +748,11 @@ RowBatch* GraceHashJoinOp::NextBatch(size_t max_rows) {
 
 bool GraceHashJoinOp::Next(std::string* row) {
   if (!partitioned_) {
-    if (!Partition().ok()) return false;
+    Status s = Partition();
+    if (!s.ok()) {
+      status_ = std::move(s);
+      return false;
+    }
     part_ = 0;
     StartPartition(0);
   }

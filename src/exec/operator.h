@@ -98,8 +98,16 @@ class Operator {
 
   uint64_t rows_produced() const { return rows_produced_; }
 
+  /// Error recorded while producing rows. The bool/pointer Next/NextBatch
+  /// signatures have no error channel, so an operator that hits a non-ok
+  /// child/iterator Status ends its stream (returns false / nullptr) and
+  /// parks the Status here. Drains must check TreeStatus() after exhaustion
+  /// to distinguish end-of-stream from failure.
+  const Status& status() const { return status_; }
+
  protected:
   uint64_t rows_produced_ = 0;
+  Status status_;
 
  private:
   RowBatch adapter_batch_;   ///< storage for the default NextBatch
@@ -534,6 +542,11 @@ class GroupByAggOp final : public Operator {
   bool consumed_ = false;
   RowBatch batch_;
 };
+
+/// First non-ok status() in a preorder walk of the operator tree (OK when
+/// every operator is clean). Errors swallowed by the bool Next contract are
+/// recovered here.
+Status TreeStatus(const Operator& root);
 
 /// Drain an operator to completion, collecting rows.
 Result<std::vector<std::string>> CollectAll(Operator* op);

@@ -78,6 +78,7 @@ TableScanOp::TableScanOp(const TableAccessor* table, std::string alias,
 }
 
 Status TableScanOp::Open() {
+  status_ = Status::OK();
   HNDP_RETURN_IF_ERROR(ResolveProjection(aliased_schema_, projection_names_,
                                          &out_cols_, &out_schema_));
   if (predicate_ != nullptr) {
@@ -107,6 +108,9 @@ bool TableScanOp::Next(std::string* row) {
     }
     iter_->Next();
   }
+  // Exhausted or failed: an iterator error (e.g. an injected device-side
+  // read fault) also leaves Valid() false, so park the status for drains.
+  if (iter_ != nullptr && status_.ok()) status_ = iter_->status();
   return false;
 }
 
@@ -134,6 +138,9 @@ RowBatch* TableScanOp::NextBatch(size_t max_rows) {
   if (opts_.ctx != nullptr) {
     opts_.ctx->ChargeRepeated(sim::CostKind::kSelectionProcessing, 1, scanned);
     opts_.ctx->ChargeCopyRepeated(out_schema_.row_size(), batch_.num_active());
+  }
+  if (iter_ != nullptr && !batch_.full() && status_.ok()) {
+    status_ = iter_->status();
   }
   return batch_.num_active() > 0 ? &batch_ : nullptr;
 }
@@ -164,6 +171,7 @@ IndexScanOp::IndexScanOp(const TableAccessor* table, std::string alias,
 }
 
 Status IndexScanOp::Open() {
+  status_ = Status::OK();
   const int col = table_->def().indexes[index_no_].col;
   if (table_->schema().column(col).type != rel::ColType::kInt32) {
     return Status::NotSupported("index range scan requires int column");
@@ -195,7 +203,11 @@ bool IndexScanOp::Next(std::string* row) {
     iter_->Next();
 
     Status s = table_->GetByPk(opts_, pk, &base_row_buf_);
-    if (!s.ok()) continue;  // dangling index entry
+    if (s.IsNotFound()) continue;  // dangling index entry
+    if (!s.ok()) {
+      status_ = std::move(s);  // real failure, not a stale entry: stop
+      return false;
+    }
     const RowView view(base_row_buf_.data(), &aliased_schema_);
     if (opts_.ctx != nullptr) {
       opts_.ctx->Charge(sim::CostKind::kSelectionProcessing, 1);
@@ -206,6 +218,7 @@ bool IndexScanOp::Next(std::string* row) {
     ++rows_produced_;
     return true;
   }
+  if (iter_ != nullptr && status_.ok()) status_ = iter_->status();
   return false;
 }
 
@@ -224,7 +237,11 @@ RowBatch* IndexScanOp::NextBatch(size_t max_rows) {
     iter_->Next();
 
     Status s = table_->GetByPk(opts_, pk, &base_row_buf_);
-    if (!s.ok()) continue;  // dangling index entry
+    if (s.IsNotFound()) continue;  // dangling index entry
+    if (!s.ok()) {
+      status_ = std::move(s);
+      break;  // deliver rows already placed, then end the stream
+    }
     const RowView view(base_row_buf_.data(), &aliased_schema_);
     ++fetched;
     if (residual_ != nullptr && !residual_->Eval(view, opts_.ctx)) continue;
@@ -235,6 +252,9 @@ RowBatch* IndexScanOp::NextBatch(size_t max_rows) {
   if (opts_.ctx != nullptr) {
     opts_.ctx->ChargeRepeated(sim::CostKind::kSelectionProcessing, 1, fetched);
     opts_.ctx->ChargeCopyRepeated(out_schema_.row_size(), batch_.num_active());
+  }
+  if (iter_ != nullptr && !batch_.full() && status_.ok()) {
+    status_ = iter_->status();
   }
   return batch_.num_active() > 0 ? &batch_ : nullptr;
 }
@@ -343,6 +363,8 @@ Result<std::vector<std::string>> CollectAll(Operator* op) {
   std::string row;
   while (op->Next(&row)) rows.push_back(row);
   op->Close();
+  // Next() returning false means end-of-stream OR failure; disambiguate.
+  HNDP_RETURN_IF_ERROR(TreeStatus(*op));
   return rows;
 }
 

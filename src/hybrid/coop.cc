@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/fault.h"
+
 namespace hybridndp::hybrid {
 
 std::string StageTimes::ToString() const {
@@ -69,8 +71,38 @@ void BatchSchedule::ComputeDoneThrough(size_t i) {
   }
 }
 
-SimNanos BatchSchedule::Fetch(size_t i, SimNanos host_now,
-                              StageTimes* stages) {
+void BatchSchedule::Poison(SimNanos when, Status status, size_t after) {
+  poisoned_ = true;
+  poison_time_ = when;
+  poison_status_ = std::move(status);
+  poison_after_ = after < batches_.size() ? after : batches_.size();
+}
+
+SimNanos BatchSchedule::Fetch(size_t i, SimNanos host_now, StageTimes* stages,
+                              Status* error) {
+  if (error != nullptr) *error = Status::OK();
+  if (poisoned_ && i >= poison_after_) {
+    // The batch will never arrive: the producer died at poison_time_. Wake
+    // the blocked consumer at the death notification (never earlier than
+    // its own clock) and surface the failure instead of stalling forever.
+    const SimNanos wake = poison_time_ > host_now ? poison_time_ : host_now;
+    if (wake > host_now) {
+      if (stages != nullptr) {
+        if (!first_fetch_done_) {
+          stages->initial_wait += wake - host_now;
+        } else {
+          stages->later_waits += wake - host_now;
+        }
+      }
+      if (rec_ != nullptr) {
+        rec_->Span(host_track_, "wait (poisoned)", "wait", host_now, wake,
+                   {obs::TraceArg::Num("batch", static_cast<uint64_t>(i))});
+      }
+    }
+    first_fetch_done_ = true;
+    if (error != nullptr) *error = poison_status_;
+    return wake;
+  }
   if (i >= batches_.size()) return host_now;
   if (fetched_[i] >= 0) {
     // Replay from host memory: no new wait/transfer, but the data cannot be
@@ -82,7 +114,24 @@ SimNanos BatchSchedule::Fetch(size_t i, SimNanos host_now,
   }
   ComputeDoneThrough(i);
 
-  const SimNanos wait = done_[i] > host_now ? done_[i] - host_now : 0;
+  // Fault site: the shared-buffer slot handoff (core 0's relay of a filled
+  // slot to the host). A stall policy delays this batch's availability; an
+  // exhausted error policy kills the handoff — poison the remaining stream
+  // and route this fetch through the poison wake-up above.
+  SimNanos fault_delay = 0;
+  if (sim::FaultInjector::Enabled()) {
+    sim::AccessContext fault_ctx(hw_, sim::Actor::kHost,
+                                 sim::IoPath::kInternal);
+    Status fs = sim::FaultCheck(sim::FaultSite::kCoopSlot, &fault_ctx);
+    fault_delay = fault_ctx.now();  // injected stall + retry backoff time
+    if (!fs.ok()) {
+      Poison(host_now + fault_delay, std::move(fs), i);
+      return Fetch(i, host_now, stages, error);
+    }
+  }
+
+  const SimNanos wait =
+      (done_[i] > host_now ? done_[i] - host_now : 0) + fault_delay;
   if (stages != nullptr) {
     if (!first_fetch_done_) {
       stages->initial_wait += wait;
@@ -100,7 +149,8 @@ SimNanos BatchSchedule::Fetch(size_t i, SimNanos host_now,
 
   const SimNanos transfer = hw_->pcie.TransferTime(batches_[i].bytes);
   if (stages != nullptr) stages->result_transfer += transfer;
-  const SimNanos ready = host_now > done_[i] ? host_now : done_[i];
+  const SimNanos ready =
+      (host_now > done_[i] ? host_now : done_[i]) + fault_delay;
   const SimNanos arrival = ready + transfer;
   if (rec_ != nullptr && transfer > 0) {
     rec_->Span(host_track_, "transfer batch " + std::to_string(i), "transfer",
@@ -126,20 +176,34 @@ Status StallingSourceOp::Open() {
   pos_ = 0;
   next_batch_ = 0;
   batch_rows_left_ = 0;
+  status_ = Status::OK();
   return Status::OK();
 }
 
 Status StallingSourceOp::Rewind() { return Open(); }
 
-bool StallingSourceOp::Next(std::string* row) {
+bool StallingSourceOp::FetchNextDeviceBatch() {
   while (batch_rows_left_ == 0) {
-    if (next_batch_ >= schedule_->num_batches()) return false;
+    const bool past_end = next_batch_ >= schedule_->num_batches();
+    if (past_end && !schedule_->poisoned()) return false;
+    Status err;
     const SimNanos arrival =
-        schedule_->Fetch(next_batch_, host_ctx_->now(), stages_);
+        schedule_->Fetch(next_batch_, host_ctx_->now(), stages_, &err);
     host_ctx_->clock().AdvanceTo(arrival);
+    if (!err.ok()) {
+      // Producer died: we were woken (not deadlocked) with its status.
+      status_ = std::move(err);
+      return false;
+    }
+    if (past_end) return false;  // poisoned, but all batches were delivered
     batch_rows_left_ = schedule_->BatchRowCount(next_batch_);
     ++next_batch_;
   }
+  return true;
+}
+
+bool StallingSourceOp::Next(std::string* row) {
+  if (!FetchNextDeviceBatch()) return false;
   if (pos_ >= rows_->size()) return false;
   *row = (*rows_)[pos_++];
   --batch_rows_left_;
@@ -155,14 +219,7 @@ bool StallingSourceOp::Next(std::string* row) {
 }
 
 exec::RowBatch* StallingSourceOp::NextBatch(size_t max_rows) {
-  while (batch_rows_left_ == 0) {
-    if (next_batch_ >= schedule_->num_batches()) return nullptr;
-    const SimNanos arrival =
-        schedule_->Fetch(next_batch_, host_ctx_->now(), stages_);
-    host_ctx_->clock().AdvanceTo(arrival);
-    batch_rows_left_ = schedule_->BatchRowCount(next_batch_);
-    ++next_batch_;
-  }
+  if (!FetchNextDeviceBatch()) return nullptr;
   if (pos_ >= rows_->size()) return nullptr;
   // Clamp to the current device batch: a second fetch after rows were
   // emitted would move the stall point relative to the row path.

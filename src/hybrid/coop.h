@@ -51,8 +51,22 @@ class BatchSchedule {
 
   /// Host requests batch `i` at host-clock `host_now`; returns the time the
   /// batch data is fully in host memory. Records wait/transfer attribution
-  /// into `stages` (initial vs later waits).
-  SimNanos Fetch(size_t i, SimNanos host_now, StageTimes* stages);
+  /// into `stages` (initial vs later waits). On a poisoned schedule (see
+  /// Poison) a fetch of a dead batch wakes at the death notification and
+  /// reports the failure through `error` (when non-null) instead of
+  /// blocking forever.
+  SimNanos Fetch(size_t i, SimNanos host_now, StageTimes* stages,
+                 Status* error = nullptr);
+
+  /// Mark the producer dead as of device/notification time `when`: batches
+  /// with index >= `after` (default: everything past the last delivered
+  /// batch) will never arrive. A consumer fetching one is woken at
+  /// max(host_now, when) and handed `status` — the poison-the-buffer
+  /// semantics that replace a consumer deadlock.
+  void Poison(SimNanos when, Status status,
+              size_t after = static_cast<size_t>(-1));
+  bool poisoned() const { return poisoned_; }
+  const Status& poison_status() const { return poison_status_; }
 
   size_t num_batches() const { return batches_.size(); }
   uint64_t BatchRowCount(size_t i) const { return batches_[i].rows; }
@@ -75,6 +89,10 @@ class BatchSchedule {
   size_t computed_ = 0;
   SimNanos device_stall_ = 0;
   bool first_fetch_done_ = false;
+  bool poisoned_ = false;
+  SimNanos poison_time_ = 0;
+  size_t poison_after_ = 0;  ///< first batch index that will never arrive
+  Status poison_status_;
   obs::TraceRecorder* rec_ = nullptr;  ///< null = recording disabled
   int host_track_ = -1;
   int device_track_ = -1;
@@ -100,6 +118,12 @@ class StallingSourceOp final : public exec::Operator {
   std::string Describe() const override { return "StallingSource"; }
 
  private:
+  /// Advance to the next device batch, stalling the host clock until it
+  /// arrives. Returns false at end-of-stream — including the poisoned case,
+  /// where the blocked consumer is woken at the producer's death time and
+  /// the failure is parked in status().
+  bool FetchNextDeviceBatch();
+
   rel::Schema schema_;
   const std::vector<std::string>* rows_;
   BatchSchedule* schedule_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/fault.h"
+
 namespace hybridndp::hybrid {
 
 namespace {
@@ -165,11 +167,20 @@ Result<exec::OperatorPtr> HybridExecutor::BuildHostSuffix(
 Result<RunResult> HybridExecutor::RunHostOnly(const Plan& plan,
                                               const ExecChoice& choice,
                                               lsm::BlockCache* cache,
-                                              obs::TraceRecorder* rec) const {
+                                              obs::TraceRecorder* rec,
+                                              SimNanos fallback_wasted_ns,
+                                              Status fault_status) const {
+  const bool fallback = !fault_status.ok();
   const sim::IoPath path = choice.strategy == Strategy::kHostBlk
                                ? sim::IoPath::kBlk
                                : sim::IoPath::kNative;
   sim::AccessContext ctx(hw_, sim::Actor::kHost, path);
+  if (fallback) {
+    // The aborted device-assisted attempt burned this much simulated time
+    // before the failure surfaced; the host-only re-execution starts after
+    // it (latency only — no work counters, mirroring the setup charge).
+    ctx.ChargeLatency(fallback_wasted_ns);
+  }
 
   exec::OperatorPtr root = BuildHostScan(plan, 0, &ctx, cache, path);
   HNDP_ASSIGN_OR_RETURN(root, BuildHostSuffix(plan, 1, std::move(root), &ctx,
@@ -187,12 +198,30 @@ Result<RunResult> HybridExecutor::RunHostOnly(const Plan& plan,
   result.host_counters = ctx.counters();
   result.host_stages.processing = ctx.counters().TotalTime();
   result.total_ns = ctx.now();
+  if (fallback) {
+    result.fell_back = true;
+    result.fault_wasted_ns = fallback_wasted_ns;
+    result.fault_status = fault_status;
+    // Table-4 accounting for the degraded run: the wasted attempt precedes
+    // all host processing and is charged to the setup stage, keeping
+    // stages.total() == total_ns.
+    result.host_stages.ndp_setup = fallback_wasted_ns;
+  }
   if (rec != nullptr) {
     const std::string label = RunLabel(choice);
-    result.trace_host_track = rec->NewTrack(label + " [host]");
-    // Host-only runs have a single Table-4 stage: everything is processing.
-    rec->Span(result.trace_host_track, "processing", "processing", 0,
-              result.total_ns,
+    result.trace_host_track =
+        rec->NewTrack(label + (fallback ? " [host fallback]" : " [host]"));
+    if (fallback) {
+      rec->Span(result.trace_host_track, "fallback (wasted attempt)", "setup",
+                0, fallback_wasted_ns,
+                {obs::TraceArg::Str("error", fault_status.ToString())});
+      rec->metrics()->counter("hndp.fallback")->Add(1);
+      sim::FaultInjector::Global().ExportMetrics(rec->metrics());
+    }
+    // Host-only runs have a single Table-4 stage: everything is processing
+    // (preceded, on the degradation path, by the wasted attempt).
+    rec->Span(result.trace_host_track, "processing", "processing",
+              fallback ? fallback_wasted_ns : 0, result.total_ns,
               {obs::TraceArg::Num("rows", result.result_rows())});
     ExportRunMetrics(rec, label, *root, cache);
   }
@@ -252,7 +281,7 @@ nkv::NdpCommand HybridExecutor::BuildNdpCommand(const Plan& plan,
 
 Result<RunResult> HybridExecutor::RunDeviceAssisted(
     const Plan& plan, const ExecChoice& choice, lsm::BlockCache* cache,
-    obs::TraceRecorder* rec) const {
+    obs::TraceRecorder* rec, SimNanos* fault_wasted_ns) const {
   const bool full_ndp = choice.strategy == Strategy::kFullNdp;
   const int k = choice.split_joins;
 
@@ -322,6 +351,14 @@ Result<RunResult> HybridExecutor::RunDeviceAssisted(
       if (s == 0) result.trace_device_track = device_track;
       schedules.back()->AttachTrace(rec, host_track, device_track);
     }
+    if (!dev.device_status.ok()) {
+      // The device died mid-run: batches it produced before the failure are
+      // delivered normally, anything past them never arrives. Poisoning (at
+      // the device death time, on the host timeline) wakes the consumer
+      // instead of letting it stall forever.
+      schedules.back()->Poison(kNdpSetupNs + dev.fail_time_ns,
+                               dev.device_status);
+    }
   }
 
   // Assemble + run the host PQEP.
@@ -370,14 +407,25 @@ Result<RunResult> HybridExecutor::RunDeviceAssisted(
     // Result already projected on-device; nothing to add.
   }
 
-  HNDP_ASSIGN_OR_RETURN(
-      std::vector<std::string> rows,
+  Result<std::vector<std::string>> rows =
       config_.exec_batch_rows > 0
           ? exec::CollectAllBatched(root.get(), config_.exec_batch_rows)
-          : exec::CollectAll(root.get()));
+          : exec::CollectAll(root.get());
+  Status run_error = rows.ok() ? Status::OK() : rows.status();
+  if (!dev.device_status.ok()) {
+    // The device death is the root cause: it outranks both a successful
+    // drain (a consumer that never pulled past the delivered batches would
+    // miss the poison) and any downstream symptom of the truncated streams
+    // (e.g. a bind error against a placeholder schema).
+    run_error = dev.device_status;
+  }
+  if (!run_error.ok()) {
+    if (fault_wasted_ns != nullptr) *fault_wasted_ns = host_ctx.now();
+    return run_error;
+  }
 
   result.schema = root->output_schema();
-  result.rows = std::move(rows);
+  result.rows = std::move(*rows);
   result.host_counters = host_ctx.counters();
   stages.processing = host_ctx.counters().TotalTime();
   for (const auto& schedule : schedules) {
@@ -408,8 +456,18 @@ Result<RunResult> HybridExecutor::Run(const Plan& plan,
     case Strategy::kHostNative:
       return RunHostOnly(plan, choice, cache, rec);
     case Strategy::kFullNdp:
-    case Strategy::kHybrid:
-      return RunDeviceAssisted(plan, choice, cache, rec);
+    case Strategy::kHybrid: {
+      SimNanos wasted = 0;
+      Result<RunResult> r = RunDeviceAssisted(plan, choice, cache, rec,
+                                              &wasted);
+      if (r.ok()) return r;
+      const Status& err = r.status();
+      if (!err.IsIOError() && !err.IsAborted()) return r;
+      // Graceful degradation (Taurus-style, paper Sect. 5): the pushdown
+      // died on a fault-class error — re-plan at the pure-host split and
+      // re-execute, carrying the wasted simulated time into the accounting.
+      return RunHostOnly(plan, choice, cache, rec, wasted, err);
+    }
   }
   return Status::InvalidArgument("bad strategy");
 }

@@ -38,6 +38,14 @@ struct RunResult {
   int num_batches = 0;
   bool pointer_cache = false;
 
+  /// Graceful degradation (Taurus-style): the device-assisted attempt died
+  /// on a fault-class error and the query was re-executed host-only. The
+  /// simulated time burned by the failed attempt is carried as the
+  /// fallback run's ndp_setup stage (it precedes all host processing).
+  bool fell_back = false;
+  SimNanos fault_wasted_ns = 0;  ///< host clock at the aborted attempt's death
+  Status fault_status;           ///< the failure that triggered the fallback
+
   /// Trace track ids for this run (-1 when tracing was disabled). Track ids
   /// are recorder bookkeeping, not simulated metrics: under a parallel
   /// RunAll the creation order — and hence the ids — depends on thread
@@ -91,13 +99,23 @@ class HybridExecutor {
   static std::vector<ExecChoice> AllChoices(const Plan& plan);
 
  private:
+  /// Host-only execution. When `fault_status` is non-OK this is the
+  /// degradation path after a failed device-assisted attempt:
+  /// `fallback_wasted_ns` of simulated time (the aborted attempt's host
+  /// timeline) is charged up front and accounted as the ndp_setup stage, so
+  /// the Table-4 categories still tile [0, total_ns].
   Result<RunResult> RunHostOnly(const Plan& plan, const ExecChoice& choice,
-                                lsm::BlockCache* cache,
-                                obs::TraceRecorder* rec) const;
+                                lsm::BlockCache* cache, obs::TraceRecorder* rec,
+                                SimNanos fallback_wasted_ns = 0,
+                                Status fault_status = Status::OK()) const;
+  /// Device-assisted execution. On a fault-class failure (injected fault
+  /// past its retry budget) returns the error and reports the simulated
+  /// host time the aborted attempt burned through `fault_wasted_ns`.
   Result<RunResult> RunDeviceAssisted(const Plan& plan,
                                       const ExecChoice& choice,
                                       lsm::BlockCache* cache,
-                                      obs::TraceRecorder* rec) const;
+                                      obs::TraceRecorder* rec,
+                                      SimNanos* fault_wasted_ns) const;
 
   /// Build the NDP command for tables [0..k] (+ joins, or scans_only).
   nkv::NdpCommand BuildNdpCommand(const Plan& plan, int split_joins,

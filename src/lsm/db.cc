@@ -431,6 +431,7 @@ class LevelConcatIterator final : public Iterator {
   }
 
   void SeekToFirst() override {
+    status_ = Status::OK();
     index_ = 0;
     OpenCurrent();
     if (file_iter_ != nullptr) file_iter_->SeekToFirst();
@@ -438,6 +439,7 @@ class LevelConcatIterator final : public Iterator {
   }
 
   void Seek(const Slice& target) override {
+    status_ = Status::OK();
     const Slice user = ExtractUserKey(target);
     auto pos = std::lower_bound(files_.begin(), files_.end(), user,
                                 [](const FileMetaData& f, const Slice& k) {
@@ -457,6 +459,7 @@ class LevelConcatIterator final : public Iterator {
   Slice key() const override { return file_iter_->key(); }
   Slice value() const override { return file_iter_->value(); }
   Status status() const override {
+    if (!status_.ok()) return status_;
     return file_iter_ != nullptr ? file_iter_->status() : Status::OK();
   }
 
@@ -469,6 +472,15 @@ class LevelConcatIterator final : public Iterator {
 
   void SkipExhausted() {
     while (file_iter_ != nullptr && !file_iter_->Valid()) {
+      // An errored file iterator is NOT exhausted: advancing past it would
+      // destroy the failed iterator and silently drop records (the scan
+      // would "finish" clean with a partial result). Latch the error and
+      // stop; status() keeps reporting it until the next re-seek.
+      Status s = file_iter_->status();
+      if (!s.ok()) {
+        status_ = std::move(s);
+        return;
+      }
       ++index_;
       OpenCurrent();
       if (file_iter_ != nullptr) file_iter_->SeekToFirst();
@@ -481,6 +493,7 @@ class LevelConcatIterator final : public Iterator {
   BlockCache* cache_;
   size_t index_ = 0;
   IteratorPtr file_iter_;
+  Status status_;  ///< latched file-iterator error (survives the skip loop)
 };
 
 /// User-key view over an internal-key iterator: collapses versions and hides

@@ -30,15 +30,24 @@ class Iterator {
 
 using IteratorPtr = std::unique_ptr<Iterator>;
 
-/// An always-invalid iterator (used for empty components).
+/// An always-invalid iterator (used for empty components). May carry a
+/// non-ok status so callers that cannot propagate an open error directly
+/// still surface it through the iterator contract.
 class EmptyIterator final : public Iterator {
  public:
+  EmptyIterator() = default;
+  explicit EmptyIterator(Status status) : status_(std::move(status)) {}
+
   bool Valid() const override { return false; }
   void SeekToFirst() override {}
   void Seek(const Slice&) override {}
   void Next() override {}
   Slice key() const override { return Slice(); }
   Slice value() const override { return Slice(); }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
 };
 
 }  // namespace hybridndp::lsm

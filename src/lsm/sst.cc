@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/coding.h"
+#include "sim/fault.h"
 
 namespace hybridndp::lsm {
 
@@ -91,7 +92,8 @@ Result<FileMetaData> SstBuilder::Finish() {
   PutFixed32(&file_, kSstMagic);
 
   meta_.file_size = file_.size();
-  meta_.file_id = storage_->AddFile(std::move(file_));
+  HNDP_ASSIGN_OR_RETURN(meta_.file_id,
+                        storage_->AddFileChecked(std::move(file_)));
   return meta_;
 }
 
@@ -223,6 +225,12 @@ Result<Slice> SstReader::ReadBlock(sim::AccessContext* ctx, BlockCache* cache,
   if (offset + size > contents->size()) {
     return Status::Corruption("block out of range");
   }
+  // Fault site: device-side block reads (before the cache lookup, so cache
+  // hits are covered too). Host reads stay clean for graceful fallback.
+  if (ctx != nullptr && ctx->actor() == sim::Actor::kDevice &&
+      sim::FaultInjector::Enabled()) {
+    HNDP_RETURN_IF_ERROR(sim::FaultCheck(sim::FaultSite::kSstRead, ctx));
+  }
   if (ctx != nullptr) {
     const bool cached = cache != nullptr && cache->Lookup(meta_.file_id, offset);
     if (!cached) {
@@ -351,7 +359,9 @@ class SstReader::TwoLevelIter final : public Iterator {
 
 IteratorPtr SstReader::NewIterator(sim::AccessContext* ctx, BlockCache* cache) {
   Status s = EnsureOpened(ctx, cache);
-  if (!s.ok()) return std::make_unique<EmptyIterator>();
+  // Surface the open failure through the iterator's status() instead of
+  // silently yielding an empty (Valid()==false) stream.
+  if (!s.ok()) return std::make_unique<EmptyIterator>(std::move(s));
   return std::make_unique<TwoLevelIter>(this, ctx, cache);
 }
 

@@ -1,5 +1,7 @@
 #include "lsm/storage.h"
 
+#include "sim/fault.h"
+
 namespace hybridndp::lsm {
 
 FileId VirtualStorage::AddFile(std::string contents) {
@@ -15,6 +17,12 @@ FileId VirtualStorage::AddFile(std::string contents) {
   entry.contents = std::move(contents);
   files_.emplace(id, std::move(entry));
   return id;
+}
+
+Result<FileId> VirtualStorage::AddFileChecked(std::string contents) {
+  HNDP_RETURN_IF_ERROR(
+      sim::FaultCheck(sim::FaultSite::kStorageWrite, nullptr));
+  return AddFile(std::move(contents));
 }
 
 void VirtualStorage::RemoveFile(FileId id) {
@@ -48,6 +56,12 @@ Result<Slice> VirtualStorage::Read(sim::AccessContext* ctx, FileId id,
   const std::string& data = it->second.contents;
   if (offset + n > data.size()) {
     return Status::InvalidArgument("read beyond EOF");
+  }
+  // Fault site: device-internal flash accesses only. Host-path reads stay
+  // clean so a permanent device fault can still degrade to host execution.
+  if (ctx != nullptr && ctx->actor() == sim::Actor::kDevice &&
+      sim::FaultInjector::Enabled()) {
+    HNDP_RETURN_IF_ERROR(sim::FaultCheck(sim::FaultSite::kStorageRead, ctx));
   }
   if (ctx != nullptr) {
     if (sequential) {

@@ -1,11 +1,31 @@
 #include "ndp/device_executor.h"
 
+#include "sim/fault.h"
+
 namespace hybridndp::ndp {
 
 using exec::OperatorPtr;
 using nkv::JoinAlgo;
 using nkv::NdpCommand;
 using nkv::NdpTableAccess;
+
+namespace {
+
+/// Output schema of a scans_only leaf without running it (used to keep the
+/// stream layout intact when the device dies before reaching a table).
+rel::Schema ProjectedLeafSchema(const NdpTableAccess& access,
+                                const rel::TableAccessor* accessor) {
+  rel::Schema aliased = exec::AliasSchema(accessor->schema(), access.alias);
+  if (access.projection.empty()) return aliased;
+  std::vector<int> cols;
+  for (const auto& name : access.projection) {
+    const int idx = aliased.Find(name);
+    if (idx >= 0) cols.push_back(idx);
+  }
+  return aliased.Project(cols);
+}
+
+}  // namespace
 
 Status DeviceExecutor::CheckResources(const NdpCommand& cmd) const {
   const uint64_t reserved = cmd.ReservedBufferBytes();
@@ -86,7 +106,7 @@ Result<DeviceRunResult> DeviceExecutor::Execute(
   // would only add a copy per row — the DeviceBatch itself is the batch
   // the host-side StallingSourceOp consumes batch-wise.
   auto drain = [&](exec::Operator* op, size_t stream) -> Status {
-    HNDP_RETURN_IF_ERROR(op->Open());
+    Status st = op->Open();
     std::vector<std::string> rows;
     const size_t rs = op->output_schema().row_size();
     // Slot granularity in rows: rows are fixed-size, so the row path's
@@ -98,17 +118,24 @@ Result<DeviceRunResult> DeviceExecutor::Execute(
     uint64_t pending_rows = 0;
     SimNanos mark = ctx.now();
     std::string row_buf;
-    while (op->Next(&row_buf)) {
-      // Core 1 copies the root result into a shared-buffer slot (Fig. 8).
-      ctx.ChargeCopy(rs);
-      rows.push_back(row_buf);
-      if (++pending_rows == rows_per_slot) {
-        result.batches.push_back(DeviceBatch{
-            stream, pending_rows, pending_rows * rs, ctx.now() - mark});
-        mark = ctx.now();
-        pending_rows = 0;
+    if (st.ok()) {
+      while (op->Next(&row_buf)) {
+        // Core 1 copies the root result into a shared-buffer slot (Fig. 8).
+        ctx.ChargeCopy(rs);
+        rows.push_back(row_buf);
+        if (++pending_rows == rows_per_slot) {
+          result.batches.push_back(DeviceBatch{
+              stream, pending_rows, pending_rows * rs, ctx.now() - mark});
+          mark = ctx.now();
+          pending_rows = 0;
+        }
       }
+      // Next() returning false is end-of-stream OR a device-side failure
+      // parked in an operator; recover the distinction here.
+      st = exec::TreeStatus(*op);
     }
+    // Rows produced before a failure stay in the result (partial batches
+    // reached the shared buffer before the device died).
     if (pending_rows > 0 || result.batches.empty() ||
         result.batches.back().stream != stream) {
       result.batches.push_back(DeviceBatch{stream, pending_rows,
@@ -118,17 +145,23 @@ Result<DeviceRunResult> DeviceExecutor::Execute(
     result.stream_schemas.push_back(op->output_schema());
     result.stream_rows.push_back(std::move(rows));
     op->Close();
-    return Status::OK();
+    return st;
   };
 
-  if (cmd.scans_only) {
+  // Fault site: the NDP invocation itself (command relay / core-1 dispatch).
+  Status exec_status = sim::FaultCheck(sim::FaultSite::kDeviceExec, &ctx);
+
+  if (!exec_status.ok() && cmd.scans_only) {
+    // Died before the first leaf: keep the stream layout intact below.
+  } else if (cmd.scans_only) {
     // Split H0: every leaf is an independent NDP selection; the single NDP
     // core processes them sequentially in join order.
     for (size_t i = 0; i < cmd.tables.size(); ++i) {
       auto scan = BuildScan(cmd.tables[i], accessors[i].get(), cmd, opts);
-      HNDP_RETURN_IF_ERROR(drain(scan.get(), i));
+      exec_status = drain(scan.get(), i);
+      if (!exec_status.ok()) break;
     }
-  } else {
+  } else if (exec_status.ok()) {
     // Left-deep pipeline: scan(t0) join t1 join t2 ... [agg] [project].
     OperatorPtr acc = BuildScan(cmd.tables[0], accessors[0].get(), cmd, opts);
     for (size_t j = 0; j < cmd.joins.size(); ++j) {
@@ -174,7 +207,33 @@ Result<DeviceRunResult> DeviceExecutor::Execute(
       acc = std::make_unique<exec::ProjectOp>(std::move(acc),
                                               cmd.output_projection, &ctx);
     }
-    HNDP_RETURN_IF_ERROR(drain(acc.get(), 0));
+    exec_status = drain(acc.get(), 0);
+  }
+
+  if (!exec_status.ok()) {
+    // Fault-class failures (injected I/O faults past their retry budget,
+    // aborted commands) return a *partial* result: the cooperative layer
+    // needs the batches that made it to the shared buffer plus the failure
+    // time to poison the remaining schedule. Anything else (planning or
+    // resource bugs) is a hard error.
+    if (!exec_status.IsIOError() && !exec_status.IsAborted()) {
+      return exec_status;
+    }
+    result.device_status = exec_status;
+    result.fail_time_ns = ctx.now();
+    if (cmd.scans_only) {
+      // Fill the streams the device never reached with empty outputs so the
+      // host-side plan shape (one source per table) stays valid.
+      while (result.stream_schemas.size() < cmd.tables.size()) {
+        const size_t i = result.stream_schemas.size();
+        result.stream_schemas.push_back(
+            ProjectedLeafSchema(cmd.tables[i], accessors[i].get()));
+        result.stream_rows.emplace_back();
+      }
+    } else if (result.stream_schemas.empty()) {
+      result.stream_schemas.emplace_back();
+      result.stream_rows.emplace_back();
+    }
   }
 
   result.counters = ctx.counters();

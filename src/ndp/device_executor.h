@@ -38,6 +38,12 @@ struct DeviceRunResult {
   SimNanos total_work_ns = 0;
   uint64_t reserved_buffer_bytes = 0;
   bool pointer_cache = false;        ///< cache-format choice (Sect. 4.2)
+  /// Non-ok when the device died mid-run on a fault-class error (injected
+  /// I/O fault past its retry budget). The result then carries whatever
+  /// batches were produced before the failure; the cooperative layer
+  /// poisons the shared buffer at fail_time_ns so blocked consumers wake.
+  Status device_status;
+  SimNanos fail_time_ns = 0;  ///< device clock at the failure
 
   const rel::Schema& schema() const { return stream_schemas.at(0); }
   const std::vector<std::string>& rows() const { return stream_rows.at(0); }
