@@ -26,7 +26,11 @@ enum class Code : uint8_t {
 };
 
 /// Lightweight status object. Ok statuses carry no allocation.
-class Status {
+/// [[nodiscard]] at class level: every call returning a Status must either
+/// check, propagate, or explicitly void-cast it with a justification
+/// (hndp-lint's discarded-status rule covers call shapes the attribute
+/// cannot reach).
+class [[nodiscard]] Status {
  public:
   Status() : code_(Code::kOk) {}
 
@@ -81,7 +85,7 @@ class Status {
 
 /// A value-or-status holder, analogous to arrow::Result.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
   Result(T value) : var_(std::move(value)) {}

@@ -8,14 +8,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace hybridndp::common {
 
@@ -43,11 +43,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Immutable after the constructor returns (only joined in ~ThreadPool),
+  /// so size() needs no lock.
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  std::deque<std::packaged_task<void()>> queue_ GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hybridndp::common

@@ -707,7 +707,10 @@ RowBatch* GraceHashJoinOp::NextBatch(size_t max_rows) {
       return nullptr;
     }
     part_ = 0;
-    StartPartition(0);
+    if (Status sp = StartPartition(0); !sp.ok()) {
+      status_ = std::move(sp);
+      return nullptr;
+    }
   }
   const Schema& lschema = left_->output_schema();
   const Schema& rschema = right_->output_schema();
@@ -741,7 +744,12 @@ RowBatch* GraceHashJoinOp::NextBatch(size_t max_rows) {
       in_match_ = true;
     }
     ++part_;
-    if (part_ < left_parts_.size()) StartPartition(part_);
+    if (part_ < left_parts_.size()) {
+      if (Status sp = StartPartition(part_); !sp.ok()) {
+        status_ = std::move(sp);
+        return nullptr;
+      }
+    }
   }
   return batch_.num_active() > 0 ? &batch_ : nullptr;
 }
@@ -754,7 +762,10 @@ bool GraceHashJoinOp::Next(std::string* row) {
       return false;
     }
     part_ = 0;
-    StartPartition(0);
+    if (Status sp = StartPartition(0); !sp.ok()) {
+      status_ = std::move(sp);
+      return false;
+    }
   }
   while (part_ < left_parts_.size()) {
     auto& probe = right_parts_[part_];
@@ -782,7 +793,12 @@ bool GraceHashJoinOp::Next(std::string* row) {
       in_match_ = true;
     }
     ++part_;
-    if (part_ < left_parts_.size()) StartPartition(part_);
+    if (part_ < left_parts_.size()) {
+      if (Status sp = StartPartition(part_); !sp.ok()) {
+        status_ = std::move(sp);
+        return false;
+      }
+    }
   }
   return false;
 }

@@ -166,7 +166,8 @@ Status JobDataGenerator::FillTable(const JobTableSpec& spec) {
     } else if (name == "info_type") {
       rb.SetString(1, InfoTypeName(i));
     } else if (name == "title") {
-      std::string t = "t" + std::to_string(i);
+      std::string t = "t";
+      t += std::to_string(i);
       const double u = rng.NextDouble();
       if (u < 0.04) {
         t += " Champion";
@@ -175,7 +176,10 @@ Status JobDataGenerator::FillTable(const JobTableSpec& spec) {
       } else if (u < 0.10) {
         t += " Freddy";
       } else {
-        t += " " + rng.NextString(6);
+        // Two appends, not `" " + NextString(...)`: gcc 12's -Wrestrict has
+        // a false positive on `const char* + std::string&&` under -O2.
+        t += ' ';
+        t += rng.NextString(6);
       }
       rb.SetString(1, t);
       rb.SetInt(2, static_cast<int32_t>(rng.Zipf(KindTypeKinds().size(), 0.7) + 1));

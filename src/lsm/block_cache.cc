@@ -31,7 +31,7 @@ BlockCache::Shard& BlockCache::ShardFor(FileId file, uint64_t offset) {
 
 bool BlockCache::Lookup(FileId file, uint64_t offset) {
   Shard& shard = ShardFor(file, offset);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   auto it = shard.index.find({file, offset});
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -44,7 +44,7 @@ bool BlockCache::Lookup(FileId file, uint64_t offset) {
 
 void BlockCache::Insert(FileId file, uint64_t offset, uint64_t bytes) {
   Shard& shard = ShardFor(file, offset);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   const Key key{file, offset};
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
@@ -66,7 +66,7 @@ void BlockCache::Insert(FileId file, uint64_t offset, uint64_t bytes) {
 void BlockCache::EraseFile(FileId file) {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->key.first == file) {
         shard.used_bytes -= it->bytes;
@@ -82,7 +82,7 @@ void BlockCache::EraseFile(FileId file) {
 uint64_t BlockCache::used_bytes() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(shard->mu);
     total += shard->used_bytes;
   }
   return total;
@@ -91,7 +91,7 @@ uint64_t BlockCache::used_bytes() const {
 uint64_t BlockCache::hits() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(shard->mu);
     total += shard->hits;
   }
   return total;
@@ -100,7 +100,7 @@ uint64_t BlockCache::hits() const {
 uint64_t BlockCache::misses() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(shard->mu);
     total += shard->misses;
   }
   return total;

@@ -16,11 +16,11 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "lsm/storage.h"
 
 namespace hybridndp::obs {
@@ -68,13 +68,14 @@ class BlockCache {
     uint64_t bytes;
   };
   struct Shard {
-    mutable std::mutex mu;
+    mutable common::Mutex mu;
+    /// Per-shard budget; fixed at construction, read-only afterwards.
     uint64_t capacity_bytes = 0;
-    uint64_t used_bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    std::list<Entry> lru;  // front = most recent
-    std::map<Key, std::list<Entry>::iterator> index;
+    uint64_t used_bytes GUARDED_BY(mu) = 0;
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recent
+    std::map<Key, std::list<Entry>::iterator> index GUARDED_BY(mu);
   };
 
   Shard& ShardFor(FileId file, uint64_t offset);

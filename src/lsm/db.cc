@@ -271,7 +271,7 @@ Status DB::CompactLevel(ColumnFamily* cf, int level) {
                  files->end());
     for (const auto& v : victims) {
       {
-        std::lock_guard<std::mutex> lock(readers_mu_);
+        common::MutexLock lock(readers_mu_);
         readers_.erase(v.file_id);
       }
       storage_->RemoveFile(v.file_id);
@@ -289,15 +289,19 @@ Status DB::CompactLevel(ColumnFamily* cf, int level) {
   return Status::OK();
 }
 
+SstReader* DB::FindReaderSealed(FileId id) const {
+  auto it = readers_.find(id);
+  return it != readers_.end() ? it->second.get() : nullptr;
+}
+
 SstReader* DB::GetReader(FileId id, const FileMetaData& meta) const {
   // Sealed fast path: after OpenAllReaders every live SST has an entry and
   // the map is not mutated until the next write, so concurrent runs may
   // search it without the mutex. GetByPk-heavy plans call this per row.
   if (readers_sealed_.load(std::memory_order_acquire)) {
-    auto it = readers_.find(id);
-    if (it != readers_.end()) return it->second.get();
+    if (SstReader* hit = FindReaderSealed(id); hit != nullptr) return hit;
   }
-  std::lock_guard<std::mutex> lock(readers_mu_);
+  common::MutexLock lock(readers_mu_);
   auto it = readers_.find(id);
   if (it != readers_.end()) return it->second.get();
   // A miss means the table was incomplete after all: drop the seal before
@@ -310,16 +314,23 @@ SstReader* DB::GetReader(FileId id, const FileMetaData& meta) const {
 }
 
 void DB::OpenAllReaders() const {
+  bool all_opened = true;
   for (const auto& cf : cfs_) {
     for (const auto& level : cf->version.levels) {
       for (const auto& meta : level) {
         // No context: decoding charges nothing; later reads through a fresh
         // cache still pay the (cached-or-not) index-block load per run.
-        GetReader(meta.file_id, meta)->EnsureOpened(nullptr, nullptr);
+        const Status st =
+            GetReader(meta.file_id, meta)->EnsureOpened(nullptr, nullptr);
+        // Not lost when it fails: the same error re-surfaces on the run's
+        // first charged read of this file, where callers handle it.
+        if (!st.ok()) all_opened = false;
       }
     }
   }
-  readers_sealed_.store(true, std::memory_order_release);
+  // Only seal a fully opened table; a partial one keeps the mutex path so
+  // retries can still insert.
+  if (all_opened) readers_sealed_.store(true, std::memory_order_release);
 }
 
 void DB::ExportMetrics(obs::MetricsRegistry* metrics) const {
@@ -344,7 +355,7 @@ void DB::ExportMetrics(obs::MetricsRegistry* metrics) const {
   uint64_t block_reads = 0, block_read_bytes = 0, cache_hits = 0,
            index_loads = 0, pinned_seeks = 0;
   {
-    std::lock_guard<std::mutex> lock(readers_mu_);
+    common::MutexLock lock(readers_mu_);
     for (const auto& [id, reader] : readers_) {
       (void)id;
       const SstReadStats& rs = reader->read_stats();

@@ -10,10 +10,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "lsm/block_cache.h"
 #include "lsm/internal_key.h"
 #include "lsm/iterator.h"
@@ -161,13 +161,19 @@ class DB {
                                        const Slice& smallest,
                                        const Slice& largest) const;
 
+  /// Lock-free lookup used only when readers_sealed_ was observed true.
+  /// Suppressed from analysis: the seal protocol guarantees the map is not
+  /// mutated between the acquire load of the seal and this read.
+  SstReader* FindReaderSealed(FileId id) const NO_THREAD_SAFETY_ANALYSIS;
+
   VirtualStorage* storage_;
   DBOptions options_;
   SequenceNumber sequence_ = 0;
   std::vector<std::unique_ptr<ColumnFamily>> cfs_;
   std::map<std::string, ColumnFamilyId> cf_names_;
-  mutable std::mutex readers_mu_;
-  mutable std::map<FileId, std::unique_ptr<SstReader>> readers_;
+  mutable common::Mutex readers_mu_;
+  mutable std::map<FileId, std::unique_ptr<SstReader>> readers_
+      GUARDED_BY(readers_mu_);
   /// True when readers_ covers every live SST and no write has happened
   /// since: GetReader may then search the map without taking readers_mu_.
   /// Any write-path mutation clears it.

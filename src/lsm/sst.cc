@@ -106,11 +106,15 @@ bool SstReader::OutsideKeyRange(const Slice& user_key) const {
 }
 
 Status SstReader::EnsureOpened(sim::AccessContext* ctx, BlockCache* cache) {
-  // Fast path: already decoded (acquire pairs with the release below, making
-  // index_block_/bloom_ safely visible to other threads).
+  // Fast path: already decoded (acquire pairs with the release in
+  // OpenLocked, making pinned_index_/bloom_ safely visible to all threads).
   if (opened_.load(std::memory_order_acquire)) return Status::OK();
-  std::lock_guard<std::mutex> lock(open_mu_);
+  common::MutexLock lock(open_mu_);
   if (opened_.load(std::memory_order_relaxed)) return Status::OK();
+  return OpenLocked(ctx, cache);
+}
+
+Status SstReader::OpenLocked(sim::AccessContext* ctx, BlockCache* cache) {
   const std::string* contents = storage_->FileContents(meta_.file_id);
   if (contents == nullptr) {
     return Status::NotFound("sst file missing");

@@ -15,11 +15,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bloom.h"
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "lsm/block.h"
@@ -152,10 +152,21 @@ class SstReader {
   Result<Slice> ReadBlock(sim::AccessContext* ctx, BlockCache* cache,
                           uint64_t offset, uint64_t size, bool sequential);
 
+  /// Decode footer/index/bloom into the pinned fields and publish them by
+  /// storing opened_ (release). Only ever called under open_mu_ with
+  /// opened_ still false.
+  Status OpenLocked(sim::AccessContext* ctx, BlockCache* cache)
+      REQUIRES(open_mu_);
+
   const VirtualStorage* storage_;
   FileMetaData meta_;
   std::atomic<bool> opened_{false};
-  std::mutex open_mu_;
+  common::Mutex open_mu_;
+  // Write-once publication protocol, not plain mutex-guarded state: the
+  // three fields below are written inside OpenLocked (REQUIRES(open_mu_))
+  // and become immutable the moment opened_ is stored with release order;
+  // readers only touch them after an acquire load of opened_, so their
+  // lock-free reads cannot race the initialization.
   /// The sparse index, decoded once at open and pinned for the reader's
   /// lifetime: index seeks binary-search this form instead of re-parsing
   /// the serialized block (prefix compression, varints) on every lookup.

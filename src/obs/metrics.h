@@ -21,9 +21,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.h"
 
 namespace hybridndp::obs {
 
@@ -63,12 +64,12 @@ class Histogram {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mu_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-  std::array<uint64_t, kNumBuckets> buckets_{};
+  mutable common::Mutex mu_;
+  uint64_t count_ GUARDED_BY(mu_) = 0;
+  double sum_ GUARDED_BY(mu_) = 0;
+  double min_ GUARDED_BY(mu_) = 0;
+  double max_ GUARDED_BY(mu_) = 0;
+  std::array<uint64_t, kNumBuckets> buckets_ GUARDED_BY(mu_){};
 };
 
 /// Named metric registry. Metrics are created on first use and live as long
@@ -89,9 +90,12 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable common::Mutex mu_;
+  /// Sorted maps on purpose: ToJson iterates them directly, and export
+  /// ordering must be canonical (hndp-lint's unordered-serialize rule).
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace hybridndp::obs

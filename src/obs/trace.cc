@@ -28,11 +28,18 @@ TraceArg TraceArg::Num(std::string key, uint64_t v) {
 }
 
 TraceArg TraceArg::Str(std::string key, std::string_view v) {
-  return {std::move(key), "\"" + JsonEscape(v) + "\""};
+  // Built with += rather than operator+ chains: gcc 12's -Wrestrict has a
+  // false positive on `"literal" + std::string&&` under -O2.
+  std::string quoted;
+  quoted.reserve(v.size() + 2);
+  quoted += '"';
+  quoted += JsonEscape(v);
+  quoted += '"';
+  return {std::move(key), std::move(quoted)};
 }
 
 int TraceRecorder::NewTrack(const std::string& name, int sort_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   tracks_.push_back(name);
   track_sort_.push_back(sort_index);
   return static_cast<int>(tracks_.size()) - 1;
@@ -42,20 +49,22 @@ void TraceRecorder::Span(int track, std::string name, std::string cat,
                          SimNanos start_ns, SimNanos end_ns,
                          std::vector<TraceArg> args) {
   if (end_ns < start_ns) end_ns = start_ns;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   spans_.push_back(TraceSpan{track, std::move(name), std::move(cat), start_ns,
                              end_ns, std::move(args)});
 }
 
 void TraceRecorder::GapFill(int track, SimNanos start_ns, SimNanos end_ns,
                             const std::string& name, const std::string& cat) {
+  // One critical section end to end: computing the gaps and appending them
+  // must be atomic, or a Span() racing in on the same track between a
+  // read-then-append pair would leave gap spans overlapping it (the
+  // lock-discipline bug the GUARDED_BY annotation pass surfaced here).
+  common::MutexLock lock(mu_);
   std::vector<std::pair<SimNanos, SimNanos>> covered;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& s : spans_) {
-      if (s.track == track && s.end_ns > s.start_ns) {
-        covered.emplace_back(s.start_ns, s.end_ns);
-      }
+  for (const auto& s : spans_) {
+    if (s.track == track && s.end_ns > s.start_ns) {
+      covered.emplace_back(s.start_ns, s.end_ns);
     }
   }
   std::sort(covered.begin(), covered.end());
@@ -63,20 +72,20 @@ void TraceRecorder::GapFill(int track, SimNanos start_ns, SimNanos end_ns,
   SimNanos cursor = start_ns;
   for (const auto& [a, b] : covered) {
     if (a > cursor) {
-      gaps.push_back(TraceSpan{track, name, cat, cursor, std::min(a, end_ns)});
+      gaps.push_back(
+          TraceSpan{track, name, cat, cursor, std::min(a, end_ns), {}});
     }
     if (b > cursor) cursor = b;
     if (cursor >= end_ns) break;
   }
   if (cursor < end_ns) {
-    gaps.push_back(TraceSpan{track, name, cat, cursor, end_ns});
+    gaps.push_back(TraceSpan{track, name, cat, cursor, end_ns, {}});
   }
-  std::lock_guard<std::mutex> lock(mu_);
   for (auto& g : gaps) spans_.push_back(std::move(g));
 }
 
 SimNanos TraceRecorder::CategoryTotal(int track, std::string_view cat) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   SimNanos total = 0;
   for (const auto& s : spans_) {
     if (s.track == track && s.cat == cat) total += s.duration();
@@ -85,17 +94,17 @@ SimNanos TraceRecorder::CategoryTotal(int track, std::string_view cat) const {
 }
 
 size_t TraceRecorder::num_tracks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return tracks_.size();
 }
 
 size_t TraceRecorder::num_spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return spans_.size();
 }
 
 std::vector<TraceSpan> TraceRecorder::TrackSpans(int track) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<TraceSpan> out;
   for (const auto& s : spans_) {
     if (s.track == track) out.push_back(s);
@@ -104,7 +113,7 @@ std::vector<TraceSpan> TraceRecorder::TrackSpans(int track) const {
 }
 
 std::string TraceRecorder::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -125,8 +134,19 @@ std::string TraceRecorder::ToChromeJson() const {
                                : static_cast<int>(t) + 1)
        << "}}";
   }
-  // Complete ('X') events; simulated nanos -> microseconds.
-  for (const auto& s : spans_) {
+  // Complete ('X') events; simulated nanos -> microseconds. Emit grouped by
+  // track: spans_ interleaves tracks in whatever order concurrent runs
+  // appended, but within one track the order is the (deterministic) order
+  // of that run's recording — so grouping canonicalizes the bytes.
+  std::vector<const TraceSpan*> ordered;
+  ordered.reserve(spans_.size());
+  for (const auto& s : spans_) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceSpan* a, const TraceSpan* b) {
+                     return a->track < b->track;
+                   });
+  for (const TraceSpan* sp : ordered) {
+    const TraceSpan& s = *sp;
     sep();
     os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.track + 1 << ",\"name\":\""
        << JsonEscape(s.name) << "\",\"cat\":\"" << JsonEscape(s.cat)

@@ -19,11 +19,11 @@
 
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/sim_clock.h"
 #include "obs/metrics.h"
 
@@ -81,6 +81,9 @@ class TraceRecorder {
   std::vector<TraceSpan> TrackSpans(int track) const;
 
   /// Chrome trace_event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  /// Spans are emitted grouped by track (stable within a track), so the
+  /// bytes do not depend on how concurrent runs interleaved their appends:
+  /// two recordings of the same simulated work serialize identically.
   std::string ToChromeJson() const;
 
   MetricsRegistry* metrics() { return &metrics_; }
@@ -89,11 +92,11 @@ class TraceRecorder {
   std::string MetricsJson() const { return metrics_.ToJson(); }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> tracks_;
-  std::vector<int> track_sort_;
-  std::vector<TraceSpan> spans_;
-  MetricsRegistry metrics_;
+  mutable common::Mutex mu_;
+  std::vector<std::string> tracks_ GUARDED_BY(mu_);
+  std::vector<int> track_sort_ GUARDED_BY(mu_);
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
+  MetricsRegistry metrics_;  ///< internally synchronized
 };
 
 /// Write `contents` to `path` with stdio. Returns false (and prints to

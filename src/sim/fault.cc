@@ -195,20 +195,32 @@ Result<FaultConfig> FaultConfig::Parse(std::string_view spec) {
 std::atomic<bool> FaultInjector::enabled_{false};
 
 FaultInjector& FaultInjector::Global() {
+  // hndp-lint: allow(raw-new) leak-on-purpose process singleton
   static FaultInjector* injector = new FaultInjector();
   return *injector;
 }
 
 void FaultInjector::Configure(const FaultConfig& cfg) {
-  config_ = cfg;
+  {
+    common::MutexLock lock(mu_);
+    config_ = cfg;
+  }
   ResetCounters();
   enabled_.store(cfg.any_armed(), std::memory_order_relaxed);
 }
 
 void FaultInjector::Disarm() {
   enabled_.store(false, std::memory_order_relaxed);
-  config_ = FaultConfig{};
+  {
+    common::MutexLock lock(mu_);
+    config_ = FaultConfig{};
+  }
   ResetCounters();
+}
+
+FaultConfig FaultInjector::config() const {
+  common::MutexLock lock(mu_);
+  return config_;
 }
 
 Status FaultInjector::InitFromEnv() {
@@ -266,7 +278,18 @@ bool FaultInjector::Fires(const FaultPolicy& policy, FaultSite site) {
 }
 
 Status FaultInjector::Check(FaultSite site, AccessContext* ctx) {
-  const FaultPolicy& policy = config_.sites[static_cast<int>(site)];
+  FaultPolicy policy;
+  int retry_budget;
+  SimNanos backoff;
+  {
+    // One short critical section to snapshot the (small) policy + retry
+    // knobs; the retry loop below then runs lock-free. Only armed runs pay
+    // this — the disarmed fast path never reaches Check.
+    common::MutexLock lock(mu_);
+    policy = config_.sites[static_cast<int>(site)];
+    retry_budget = config_.retry_budget;
+    backoff = config_.backoff_ns;
+  }
   if (!policy.armed()) return Status::OK();
   AtomicSiteStats& s = stats_[static_cast<int>(site)];
   if (!Fires(policy, site)) return Status::OK();
@@ -283,8 +306,7 @@ Status FaultInjector::Check(FaultSite site, AccessContext* ctx) {
   // attempt is a fresh draw against the same policy, so nth-style faults
   // recover on the first retry while always/high-prob faults exhaust the
   // budget and surface as a permanent IOError.
-  SimNanos backoff = config_.backoff_ns;
-  for (int attempt = 1; attempt <= config_.retry_budget; ++attempt) {
+  for (int attempt = 1; attempt <= retry_budget; ++attempt) {
     s.retries.fetch_add(1, std::memory_order_relaxed);
     if (ctx != nullptr) ctx->ChargeLatency(backoff);
     backoff *= 2;
@@ -294,14 +316,14 @@ Status FaultInjector::Check(FaultSite site, AccessContext* ctx) {
   s.exhausted.fetch_add(1, std::memory_order_relaxed);
   return Status::IOError(std::string("injected fault at ") +
                          FaultSiteName(site) + " (retry budget " +
-                         std::to_string(config_.retry_budget) +
-                         " exhausted)");
+                         std::to_string(retry_budget) + " exhausted)");
 }
 
 void FaultInjector::ExportMetrics(obs::MetricsRegistry* reg) const {
   if (reg == nullptr || !Enabled()) return;
+  const FaultConfig cfg = config();
   for (int i = 0; i < kNumFaultSites; ++i) {
-    if (!config_.sites[i].armed()) continue;
+    if (!cfg.sites[i].armed()) continue;
     const SiteStats st = Stats(static_cast<FaultSite>(i));
     const std::string site = kSiteNames[i];
     reg->counter("hndp.fault.ops." + site)->Set(st.ops);

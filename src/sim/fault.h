@@ -45,6 +45,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "sim/cost.h"
 
@@ -144,7 +145,9 @@ class FaultInjector {
   /// status (OK and disarmed when the variable is unset/empty).
   Status InitFromEnv();
 
-  const FaultConfig& config() const { return config_; }
+  /// Snapshot of the installed configuration (copied under the config
+  /// mutex; a reference would escape the lock).
+  FaultConfig config() const;
   SiteStats Stats(FaultSite site) const;
   void ResetCounters();
 
@@ -174,7 +177,11 @@ class FaultInjector {
 
   static std::atomic<bool> enabled_;
 
-  FaultConfig config_;
+  /// Guards the installed configuration. Check() copies the (small)
+  /// per-site policy + retry knobs once per armed evaluation, so the
+  /// retry loop itself runs lock-free; stats_ are plain atomics.
+  mutable common::Mutex mu_;
+  FaultConfig config_ GUARDED_BY(mu_);
   std::array<AtomicSiteStats, kNumFaultSites> stats_;
 };
 

@@ -537,7 +537,9 @@ TEST_F(ExecTest, FilterNextBatchCompactsSelection) {
     EXPECT_LE(b->num_active(), b->size());
     uint32_t prev = 0;
     for (size_t k = 0; k < b->num_active(); ++k) {
-      if (k > 0) EXPECT_GT(b->sel(k), prev);
+      if (k > 0) {
+        EXPECT_GT(b->sel(k), prev);
+      }
       prev = b->sel(k);
       EXPECT_GE(RowView(b->active_row(k), &schema).GetInt(salary_col), 4000);
       ++survivors;

@@ -1,0 +1,179 @@
+// Unit tests for the hndp-lint rule engine (tools/hndp-lint). The fixture
+// files under tools/hndp-lint/testdata are exercised end-to-end by ctest
+// (lint_fixture_*); these tests pin the per-rule behavior at the LintSource
+// API level, including the suppression grammar and the comment/string
+// stripper the rules depend on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace hndplint {
+namespace {
+
+std::vector<std::string> Rules(const std::vector<Violation>& vs) {
+  std::vector<std::string> out;
+  for (const auto& v : vs) out.push_back(v.rule);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Violation> Lint(const std::string& path,
+                            const std::string& source) {
+  Options opts;
+  return LintSource(path, source, opts, CollectStatusFunctions(source));
+}
+
+TEST(WallClockRuleTest, FlagsClockTokensOutsideSim) {
+  const std::string src = R"(
+#include <chrono>
+long Now() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+long Epoch() { return std::time(nullptr); }
+)";
+  const auto vs = Lint("src/exec/scan.cc", src);
+  EXPECT_EQ(Rules(vs), (std::vector<std::string>{"wall-clock", "wall-clock"}));
+}
+
+TEST(WallClockRuleTest, AllowlistsSimAndBenchPaths) {
+  const std::string src = "long Epoch() { return std::time(nullptr); }\n";
+  EXPECT_TRUE(Lint("src/sim/clock.cc", src).empty());
+  EXPECT_TRUE(Lint("bench/bench_common.h", src).empty());
+  EXPECT_FALSE(Lint("src/lsm/db.cc", src).empty());
+}
+
+TEST(WallClockRuleTest, MemberAndQualifiedCallsAreNotLibcTime) {
+  const std::string src = R"(
+double F(const Clock& c, Ctx* ctx) { return c.time() + ctx->clock().now(); }
+double G() { return SimClock::time(); }
+)";
+  EXPECT_TRUE(Lint("src/lsm/db.cc", src).empty());
+}
+
+TEST(WallClockRuleTest, TokensInCommentsAndStringsAreIgnored) {
+  const std::string src = R"lint(
+// steady_clock would be wrong here
+const char* kMsg = "do not use time() or rand()";
+)lint";
+  EXPECT_TRUE(Lint("src/lsm/db.cc", src).empty());
+}
+
+TEST(UnorderedSerializeRuleTest, FlagsRangeForInSerializationFunction) {
+  const std::string src = R"(
+#include <unordered_map>
+struct R {
+  std::unordered_map<std::string, long> counters;
+  std::string ToJson() const {
+    std::string out;
+    for (const auto& kv : counters) out += kv.first;
+    return out;
+  }
+};
+)";
+  EXPECT_EQ(Rules(Lint("src/obs/metrics.cc", src)),
+            (std::vector<std::string>{"unordered-serialize"}));
+}
+
+TEST(UnorderedSerializeRuleTest, IgnoresNonSerializationFunctions) {
+  const std::string src = R"(
+#include <unordered_map>
+struct J {
+  std::unordered_map<std::string, long> build;
+  long Probe() const {
+    long n = 0;
+    for (const auto& kv : build) n += kv.second;
+    return n;
+  }
+};
+)";
+  EXPECT_TRUE(Lint("src/exec/join.cc", src).empty());
+}
+
+TEST(RawNewRuleTest, FlagsNewAndDeleteButNotDeletedFunctions) {
+  const std::string src = R"(
+struct T {
+  T(const T&) = delete;
+  T& operator=(const T&) = delete;
+};
+T* Make() { return new T(); }
+void Free(T* t) { delete t; }
+)";
+  EXPECT_EQ(Rules(Lint("src/lsm/db.cc", src)),
+            (std::vector<std::string>{"raw-delete", "raw-new"}));
+}
+
+TEST(DiscardedStatusRuleTest, FlagsBareCallsOnly) {
+  const std::string src = R"(
+Status Flush();
+Status Run() {
+  Flush();
+  if (!Flush().ok()) return Flush();
+  Status st = Flush();
+  (void)Flush();
+  return st;
+}
+)";
+  const auto vs = Lint("src/lsm/db.cc", src);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "discarded-status");
+  EXPECT_EQ(vs[0].line, 4);
+}
+
+TEST(DiscardedStatusRuleTest, CrossFileDeclarationsSeedTheRule) {
+  // The declaration lives in another "file" of the linted set.
+  Options opts;
+  opts.extra_status_functions.push_back("Compact");
+  const auto vs = LintSource("src/lsm/db.cc", "void F() {\n  Compact();\n}\n",
+                             opts, {});
+  EXPECT_EQ(Rules(vs), (std::vector<std::string>{"discarded-status"}));
+}
+
+TEST(SuppressionTest, JustifiedAllowSilencesSameOrNextLine) {
+  const std::string same = R"(
+struct T { int v; };
+T* A() { return new T(); }  // hndp-lint: allow(raw-new) arena-owned
+)";
+  EXPECT_TRUE(Lint("src/lsm/db.cc", same).empty());
+
+  const std::string above = R"(
+struct T { int v; };
+// hndp-lint: allow(raw-new) arena-owned
+T* A() { return new T(); }
+)";
+  EXPECT_TRUE(Lint("src/lsm/db.cc", above).empty());
+}
+
+TEST(SuppressionTest, BareAllowIsItselfAViolation) {
+  const std::string src = R"(
+struct T { int v; };
+// hndp-lint: allow(raw-new)
+T* A() { return new T(); }
+)";
+  // The unjustified allow() does not suppress, and is flagged itself.
+  EXPECT_EQ(Rules(Lint("src/lsm/db.cc", src)),
+            (std::vector<std::string>{"bare-allow", "raw-new"}));
+}
+
+TEST(SuppressionTest, AllowOnlySilencesItsOwnRule) {
+  const std::string src = R"(
+struct T { int v; };
+T* A() { return new T(); }  // hndp-lint: allow(wall-clock) wrong rule
+)";
+  EXPECT_EQ(Rules(Lint("src/lsm/db.cc", src)),
+            (std::vector<std::string>{"raw-new"}));
+}
+
+TEST(CollectStatusFunctionsTest, FindsPlainAndQualifiedReturnTypes) {
+  const auto fns = CollectStatusFunctions(
+      "Status Flush();\n"
+      "common::Status Open(int fd);\n"
+      "TreeStatus x;\n"  // not a Status-returning function
+      "int Count();\n");
+  EXPECT_EQ(fns, (std::vector<std::string>{"Flush", "Open"}));
+}
+
+}  // namespace
+}  // namespace hndplint

@@ -200,6 +200,56 @@ TEST(TraceRecorderTest, ConcurrentSpanRecording) {
   }
 }
 
+// ------------------------------------------------- canonical export bytes
+
+// Two registries fed the same metrics in different insertion orders must
+// export identical bytes: ToJson iterates sorted maps, never hash/insertion
+// order (the determinism contract hndp-lint's unordered-serialize rule and
+// DESIGN.md §13 pin down).
+TEST(CanonicalJsonTest, MetricsBytesIndependentOfInsertionOrder) {
+  MetricsRegistry a;
+  a.counter("zeta")->Add(7);
+  a.counter("alpha")->Add(3);
+  a.histogram("lat")->Record(5);
+  a.histogram("bytes")->Record(9);
+
+  MetricsRegistry b;
+  b.histogram("bytes")->Record(9);
+  b.counter("alpha")->Add(3);
+  b.histogram("lat")->Record(5);
+  b.counter("zeta")->Add(7);
+
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+// Two recorders holding the same per-track spans must export identical
+// bytes regardless of how concurrent appends interleaved across tracks:
+// ToChromeJson groups by track, and within one track the recording order is
+// single-writer deterministic.
+TEST(CanonicalJsonTest, TraceBytesIndependentOfAppendInterleaving) {
+  TraceRecorder a;
+  TraceRecorder b;
+  const int host_a = a.NewTrack("host");
+  const int dev_a = a.NewTrack("device");
+  const int host_b = b.NewTrack("host");
+  const int dev_b = b.NewTrack("device");
+
+  // Recorder a: strictly alternating interleaving.
+  for (int i = 0; i < 16; ++i) {
+    a.Span(host_a, "h" + std::to_string(i), "work", i, i + 1);
+    a.Span(dev_a, "d" + std::to_string(i), "work", i, i + 1);
+  }
+  // Recorder b: one track fully first — the other extreme interleaving.
+  for (int i = 0; i < 16; ++i) {
+    b.Span(dev_b, "d" + std::to_string(i), "work", i, i + 1);
+  }
+  for (int i = 0; i < 16; ++i) {
+    b.Span(host_b, "h" + std::to_string(i), "work", i, i + 1);
+  }
+
+  EXPECT_EQ(a.ToChromeJson(), b.ToChromeJson());
+}
+
 TEST(WriteFileTest, RoundTrip) {
   const std::string path = ::testing::TempDir() + "/obs_write_test.json";
   ASSERT_TRUE(WriteFile(path, "{\"ok\": true}\n"));

@@ -1,0 +1,731 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hndplint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Replace the contents of comments, string literals and char literals with
+/// spaces (newlines kept), so token scans cannot match inside them.
+std::string StripCommentsAndStrings(std::string_view in) {
+  std::string out(in);
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRawStr };
+  St st = St::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(in[i - 1]))) {
+          // Raw string: R"delim( ... )delim"
+          size_t p = i + 2;
+          raw_delim.clear();
+          while (p < in.size() && in[p] != '(') raw_delim += in[p++];
+          st = St::kRawStr;
+          for (size_t k = i; k <= p && k < in.size(); ++k) out[k] = ' ';
+          i = p;
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'' && (i == 0 || !IsIdentChar(in[i - 1]))) {
+          // Skip digit separators like 20'000 via the ident-char guard.
+          st = St::kChar;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < in.size() && in[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < in.size() && in[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRawStr: {
+        const std::string end = ")" + raw_delim + "\"";
+        if (in.compare(i, end.size(), end) == 0) {
+          for (size_t k = i; k < i + end.size(); ++k) out[k] = ' ';
+          i += end.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int LineOf(std::string_view s, size_t pos) {
+  return 1 + static_cast<int>(std::count(s.begin(), s.begin() + pos, '\n'));
+}
+
+std::string NormalizePath(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+/// Per-line suppressions parsed from the original (unstripped) source.
+struct Suppressions {
+  /// line -> rules allowed on that line (with justification present).
+  std::map<int, std::set<std::string>> allow;
+  /// allow() comments missing a justification.
+  std::vector<int> bare;
+};
+
+Suppressions ParseSuppressions(std::string_view content) {
+  Suppressions sup;
+  int line = 1;
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t eol = content.find('\n', start);
+    if (eol == std::string_view::npos) eol = content.size();
+    std::string_view l = content.substr(start, eol - start);
+    const std::string_view kTag = "hndp-lint: allow(";
+    size_t at = l.find(kTag);
+    while (at != std::string_view::npos) {
+      const size_t open = at + kTag.size();
+      const size_t close = l.find(')', open);
+      if (close == std::string_view::npos) break;
+      const std::string rule(l.substr(open, close - open));
+      std::string_view rest = l.substr(close + 1);
+      const bool justified =
+          rest.find_first_not_of(" \t") != std::string_view::npos;
+      if (justified) {
+        sup.allow[line].insert(rule);
+      } else {
+        sup.bare.push_back(line);
+      }
+      at = l.find(kTag, close);
+    }
+    start = eol + 1;
+    ++line;
+  }
+  return sup;
+}
+
+bool Suppressed(const Suppressions& sup, int line, const std::string& rule) {
+  for (int l : {line, line - 1}) {
+    auto it = sup.allow.find(l);
+    if (it != sup.allow.end() &&
+        (it->second.count(rule) != 0 || it->second.count("all") != 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Find the matching '>' for the '<' at `open` (handles nesting; bails at
+/// statement terminators so `a < b;` never scans past the expression).
+size_t MatchAngle(std::string_view s, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      if (--depth == 0) return i;
+    } else if (c == ';' || c == '{' || c == '}') {
+      return std::string_view::npos;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Identifier starting at or after `pos` (skipping whitespace and a
+/// leading & or *), or empty if the next token is not an identifier.
+std::string NextIdentifier(std::string_view s, size_t pos) {
+  while (pos < s.size() &&
+         (std::isspace(static_cast<unsigned char>(s[pos])) != 0 ||
+          s[pos] == '&' || s[pos] == '*')) {
+    ++pos;
+  }
+  size_t end = pos;
+  while (end < s.size() && IsIdentChar(s[end])) ++end;
+  if (end == pos || std::isdigit(static_cast<unsigned char>(s[pos])) != 0) {
+    return "";
+  }
+  return std::string(s.substr(pos, end - pos));
+}
+
+/// Names of variables/members declared with an unordered_{map,set} type.
+std::set<std::string> CollectUnorderedNames(std::string_view stripped) {
+  std::set<std::string> names;
+  const std::string_view kPat = "unordered_";
+  size_t at = stripped.find(kPat);
+  while (at != std::string_view::npos) {
+    const std::string_view after = stripped.substr(at);
+    if (after.rfind("unordered_map", 0) == 0 ||
+        after.rfind("unordered_set", 0) == 0) {
+      const size_t open = stripped.find('<', at);
+      if (open != std::string_view::npos && open < at + 16) {
+        const size_t close = MatchAngle(stripped, open);
+        if (close != std::string_view::npos) {
+          const std::string name = NextIdentifier(stripped, close + 1);
+          if (!name.empty()) names.insert(name);
+        }
+      }
+    }
+    at = stripped.find(kPat, at + 1);
+  }
+  return names;
+}
+
+bool IsSerializationName(const std::string& name) {
+  return name.find("Json") != std::string::npos ||
+         name.rfind("Export", 0) == 0 || name.rfind("Serialize", 0) == 0;
+}
+
+/// One function definition found in stripped source.
+struct FuncDef {
+  std::string name;
+  size_t body_begin = 0;  // position after '{'
+  size_t body_end = 0;    // position of matching '}'
+};
+
+/// Scan for `name (args) [const] {` definitions. Token-level heuristic:
+/// good enough to locate serialization functions, which is all we use it
+/// for.
+std::vector<FuncDef> FindFunctionDefs(std::string_view s) {
+  std::vector<FuncDef> defs;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '(') continue;
+    // Identifier immediately before '('.
+    size_t ne = i;
+    while (ne > 0 && std::isspace(static_cast<unsigned char>(s[ne - 1]))) --ne;
+    size_t nb = ne;
+    while (nb > 0 && IsIdentChar(s[nb - 1])) --nb;
+    if (nb == ne) continue;
+    const std::string name(s.substr(nb, ne - nb));
+    // Matching ')'.
+    int depth = 0;
+    size_t close = std::string_view::npos;
+    for (size_t j = i; j < s.size(); ++j) {
+      if (s[j] == '(') ++depth;
+      if (s[j] == ')' && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (s[j] == ';' || s[j] == '{') break;
+    }
+    if (close == std::string_view::npos) continue;
+    // Skip trailing qualifiers up to '{' (const/noexcept/override/->ret).
+    size_t k = close + 1;
+    while (k < s.size() && s[k] != '{' && s[k] != ';' && s[k] != '(' &&
+           s[k] != '}' && s[k] != '=') {
+      ++k;
+    }
+    if (k >= s.size() || s[k] != '{') continue;
+    // Matching '}'.
+    int bd = 0;
+    size_t end = std::string_view::npos;
+    for (size_t j = k; j < s.size(); ++j) {
+      if (s[j] == '{') ++bd;
+      if (s[j] == '}' && --bd == 0) {
+        end = j;
+        break;
+      }
+    }
+    if (end == std::string_view::npos) continue;
+    defs.push_back(FuncDef{name, k + 1, end});
+  }
+  return defs;
+}
+
+bool PathAllowlisted(const std::string& norm_path,
+                     const std::vector<std::string>& allowlist) {
+  for (const auto& frag : allowlist) {
+    if (norm_path.find(frag) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// --- Rule: wall-clock -------------------------------------------------------
+
+const char* const kClockTokens[] = {
+    "system_clock",  "steady_clock", "high_resolution_clock",
+    "random_device", "gettimeofday", "clock_gettime",
+};
+
+void CheckWallClock(const std::string& path, std::string_view stripped,
+                    std::vector<Violation>* out) {
+  for (const char* tok : kClockTokens) {
+    const std::string_view t(tok);
+    size_t at = stripped.find(t);
+    while (at != std::string_view::npos) {
+      const bool bounded =
+          (at == 0 || !IsIdentChar(stripped[at - 1])) &&
+          (at + t.size() >= stripped.size() ||
+           !IsIdentChar(stripped[at + t.size()]));
+      if (bounded) {
+        out->push_back({path, LineOf(stripped, at), "wall-clock",
+                        std::string(t) +
+                            " is a nondeterminism source; simulated "
+                            "timelines must replay bit-identically"});
+      }
+      at = stripped.find(t, at + 1);
+    }
+  }
+  // rand( / srand( / time( / clock(: flag bare and std::-qualified calls,
+  // skip member calls (x.clock(), ctx->time()) and other ::-qualified names.
+  for (const char* tok : {"rand", "srand", "time", "clock"}) {
+    const std::string_view t(tok);
+    size_t at = stripped.find(t);
+    while (at != std::string_view::npos) {
+      const size_t after = at + t.size();
+      const bool word =
+          (at == 0 || !IsIdentChar(stripped[at - 1])) &&
+          after < stripped.size() && !IsIdentChar(stripped[after]);
+      if (word) {
+        size_t p = after;
+        while (p < stripped.size() &&
+               std::isspace(static_cast<unsigned char>(stripped[p]))) {
+          ++p;
+        }
+        const bool is_call = p < stripped.size() && stripped[p] == '(';
+        bool qualified_member = false;
+        bool std_qualified = false;
+        if (at >= 1 && (stripped[at - 1] == '.' ||
+                        (at >= 2 && stripped[at - 2] == '-' &&
+                         stripped[at - 1] == '>'))) {
+          qualified_member = true;
+        } else if (at >= 2 && stripped[at - 1] == ':' &&
+                   stripped[at - 2] == ':') {
+          size_t qe = at - 2;
+          size_t qb = qe;
+          while (qb > 0 && IsIdentChar(stripped[qb - 1])) --qb;
+          const std::string_view qual = stripped.substr(qb, qe - qb);
+          if (qual == "std") {
+            std_qualified = true;
+          } else {
+            qualified_member = true;  // SomeClass::time — not libc time()
+          }
+        }
+        if (is_call && !qualified_member &&
+            (std_qualified || stripped[at == 0 ? 0 : at - 1] != ':')) {
+          out->push_back({path, LineOf(stripped, at), "wall-clock",
+                          std::string(t) +
+                              "() is a nondeterminism source; use the "
+                              "simulated clock (src/sim) or common::Random"});
+        }
+      }
+      at = stripped.find(t, at + 1);
+    }
+  }
+}
+
+// --- Rule: unordered-serialize ---------------------------------------------
+
+void CheckUnorderedSerialize(const std::string& path,
+                             std::string_view stripped,
+                             std::vector<Violation>* out) {
+  const std::set<std::string> unordered = CollectUnorderedNames(stripped);
+  for (const FuncDef& fn : FindFunctionDefs(stripped)) {
+    if (!IsSerializationName(fn.name)) continue;
+    std::string_view body =
+        stripped.substr(fn.body_begin, fn.body_end - fn.body_begin);
+    // Range-fors whose range expression is (or dereferences) an
+    // unordered container, plus any direct unordered_* mention.
+    size_t at = body.find("for");
+    while (at != std::string_view::npos) {
+      const bool word = (at == 0 || !IsIdentChar(body[at - 1])) &&
+                        at + 3 < body.size() && !IsIdentChar(body[at + 3]);
+      if (word) {
+        const size_t open = body.find('(', at);
+        if (open != std::string_view::npos && open < at + 8) {
+          int depth = 0;
+          size_t close = std::string_view::npos;
+          for (size_t j = open; j < body.size(); ++j) {
+            if (body[j] == '(') ++depth;
+            if (body[j] == ')' && --depth == 0) {
+              close = j;
+              break;
+            }
+          }
+          if (close != std::string_view::npos) {
+            const std::string_view head = body.substr(open, close - open);
+            const size_t colon = head.find(':');
+            if (colon != std::string_view::npos &&
+                (colon + 1 >= head.size() || head[colon + 1] != ':') &&
+                (colon == 0 || head[colon - 1] != ':')) {
+              std::string range_expr(head.substr(colon + 1));
+              // Trim and strip trailing member access like `m_.items`.
+              std::string ident;
+              for (char c : range_expr) {
+                if (IsIdentChar(c)) {
+                  ident += c;
+                } else if (!ident.empty() && c != '.' && c != '-' &&
+                           c != '>') {
+                  break;
+                } else if (c == '.' || c == '-' || c == '>') {
+                  ident.clear();
+                }
+              }
+              if (unordered.count(ident) != 0 ||
+                  range_expr.find("unordered_") != std::string::npos) {
+                out->push_back(
+                    {path, LineOf(stripped, fn.body_begin + at),
+                     "unordered-serialize",
+                     "serialization function '" + fn.name +
+                         "' iterates an unordered container ('" + ident +
+                         "'); exported ordering must be canonical — sort "
+                         "keys or use std::map"});
+              }
+            }
+          }
+        }
+      }
+      at = body.find("for", at + 1);
+    }
+  }
+}
+
+// --- Rules: raw-new / raw-delete -------------------------------------------
+
+void CheckRawNewDelete(const std::string& path, std::string_view stripped,
+                       std::vector<Violation>* out) {
+  for (const char* tok : {"new", "delete"}) {
+    const std::string_view t(tok);
+    size_t at = stripped.find(t);
+    while (at != std::string_view::npos) {
+      const bool word = (at == 0 || !IsIdentChar(stripped[at - 1])) &&
+                        (at + t.size() >= stripped.size() ||
+                         !IsIdentChar(stripped[at + t.size()]));
+      if (word) {
+        // `= delete` / `= default`-style declarations and `operator new`
+        // overloads are not raw allocations.
+        size_t prev = at;
+        while (prev > 0 && std::isspace(static_cast<unsigned char>(
+                               stripped[prev - 1]))) {
+          --prev;
+        }
+        const bool deleted_fn = t == "delete" && prev > 0 &&
+                                stripped[prev - 1] == '=';
+        const bool operator_decl =
+            prev >= 8 &&
+            stripped.substr(prev - 8, 8) == "operator";
+        if (!deleted_fn && !operator_decl) {
+          out->push_back({path, LineOf(stripped, at),
+                          t == "new" ? "raw-new" : "raw-delete",
+                          std::string("raw `") + std::string(t) +
+                              "` in checked sources; use std::make_unique "
+                              "or a container"});
+        }
+      }
+      at = stripped.find(t, at + 1);
+    }
+  }
+}
+
+// --- Rule: discarded-status -------------------------------------------------
+
+const char* const kStmtKeywords[] = {"return", "if",   "while", "for",
+                                     "switch", "case", "else",  "do",
+                                     "co_return"};
+
+void CheckDiscardedStatus(const std::string& path, std::string_view stripped,
+                          const std::set<std::string>& status_fns,
+                          std::vector<Violation>* out) {
+  int line_no = 0;
+  size_t start = 0;
+  while (start <= stripped.size()) {
+    ++line_no;
+    size_t eol = stripped.find('\n', start);
+    if (eol == std::string_view::npos) eol = stripped.size();
+    std::string_view l = stripped.substr(start, eol - start);
+    start = eol + 1;
+    // Trim.
+    size_t b = l.find_first_not_of(" \t");
+    if (b == std::string_view::npos) continue;
+    size_t e = l.find_last_not_of(" \t");
+    l = l.substr(b, e - b + 1);
+    if (l.empty() || l.back() != ';') continue;
+    // Bare-statement shape: optional receiver chain, then a call.
+    bool keyword = false;
+    for (const char* kw : kStmtKeywords) {
+      const std::string_view k(kw);
+      if (l.size() > k.size() && l.substr(0, k.size()) == k &&
+          !IsIdentChar(l[k.size()])) {
+        keyword = true;
+        break;
+      }
+    }
+    if (keyword) continue;
+    if (l.find('=') != std::string_view::npos) continue;  // assignment/init
+    if (l.rfind("(void)", 0) == 0) continue;  // deliberate, visible discard
+    // Callee: identifier immediately before the first '('.
+    const size_t paren = l.find('(');
+    if (paren == std::string_view::npos || paren == 0) continue;
+    size_t ne = paren;
+    while (ne > 0 && std::isspace(static_cast<unsigned char>(l[ne - 1]))) --ne;
+    size_t nb = ne;
+    while (nb > 0 && IsIdentChar(l[nb - 1])) --nb;
+    if (nb == ne) continue;
+    // A callee preceded by whitespace is a declaration (`Status Flush();`)
+    // or a keyword-led statement, not a call expression; calls start the
+    // statement or follow `.`, `->` or `::`.
+    if (nb > 0 && l[nb - 1] != '.' && l[nb - 1] != '>' && l[nb - 1] != ':') {
+      continue;
+    }
+    const std::string callee(l.substr(nb, ne - nb));
+    if (status_fns.count(callee) == 0) continue;
+    // The statement must END at that call (no `.ok()` etc. after it).
+    int depth = 0;
+    size_t close = std::string_view::npos;
+    for (size_t j = paren; j < l.size(); ++j) {
+      if (l[j] == '(') ++depth;
+      if (l[j] == ')' && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == std::string_view::npos) continue;
+    const std::string_view tail = l.substr(close + 1);
+    if (tail.find_first_not_of(" \t;") != std::string_view::npos) continue;
+    out->push_back({path, line_no, "discarded-status",
+                    "result of Status-returning call '" + callee +
+                        "' is discarded; check it, propagate it, or "
+                        "(void)-cast with a justification"});
+  }
+}
+
+std::string ReadFileOrEmpty(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+}  // namespace
+
+std::string Violation::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+std::vector<std::string> CollectStatusFunctions(std::string_view content) {
+  const std::string stripped = StripCommentsAndStrings(content);
+  std::vector<std::string> out;
+  const std::string_view kStatus = "Status";
+  size_t at = stripped.find(kStatus);
+  while (at != std::string_view::npos) {
+    const size_t after = at + kStatus.size();
+    const bool word = (at == 0 || (!IsIdentChar(stripped[at - 1]) &&
+                                   stripped[at - 1] != ':')) &&
+                      after < stripped.size() &&
+                      std::isspace(static_cast<unsigned char>(
+                          stripped[after])) != 0;
+    // `common::Status Foo(` is found via the unqualified occurrence check
+    // failing; also accept a `::`-qualified Status return type.
+    const bool qualified =
+        at >= 2 && stripped[at - 1] == ':' && stripped[at - 2] == ':';
+    if ((word || (qualified && after < stripped.size() &&
+                  std::isspace(static_cast<unsigned char>(stripped[after])) !=
+                      0))) {
+      const std::string name = NextIdentifier(stripped, after);
+      if (!name.empty()) {
+        size_t p = after;
+        while (p < stripped.size() &&
+               std::isspace(static_cast<unsigned char>(stripped[p]))) {
+          ++p;
+        }
+        p += name.size();
+        while (p < stripped.size() &&
+               std::isspace(static_cast<unsigned char>(stripped[p]))) {
+          ++p;
+        }
+        if (p < stripped.size() && stripped[p] == '(') out.push_back(name);
+      }
+    }
+    at = stripped.find(kStatus, at + 1);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Violation> LintSource(
+    const std::string& path, std::string_view content, const Options& opts,
+    const std::vector<std::string>& status_functions) {
+  const std::string norm = NormalizePath(path);
+  const std::string stripped = StripCommentsAndStrings(content);
+  const Suppressions sup = ParseSuppressions(content);
+
+  std::vector<Violation> raw;
+  if (!PathAllowlisted(norm, opts.wallclock_allowlist)) {
+    CheckWallClock(path, stripped, &raw);
+  }
+  CheckUnorderedSerialize(path, stripped, &raw);
+  CheckRawNewDelete(path, stripped, &raw);
+  std::set<std::string> status_fns(status_functions.begin(),
+                                   status_functions.end());
+  status_fns.insert(opts.extra_status_functions.begin(),
+                    opts.extra_status_functions.end());
+  CheckDiscardedStatus(path, stripped, status_fns, &raw);
+
+  std::vector<Violation> out;
+  for (auto& v : raw) {
+    if (!Suppressed(sup, v.line, v.rule)) out.push_back(std::move(v));
+  }
+  for (int line : sup.bare) {
+    out.push_back({path, line, "bare-allow",
+                   "hndp-lint: allow(...) needs a one-line justification "
+                   "after the closing parenthesis"});
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return a.line < b.line;
+  });
+  return out;
+}
+
+std::vector<Violation> LintFile(const std::string& path, const Options& opts) {
+  bool ok = false;
+  const std::string content = ReadFileOrEmpty(path, &ok);
+  if (!ok) {
+    return {{path, 0, "io", "cannot read file"}};
+  }
+  return LintSource(path, content, opts, CollectStatusFunctions(content));
+}
+
+std::vector<Violation> LintFiles(const std::vector<std::string>& paths,
+                                 const Options& opts) {
+  // Pass 1: union of Status-returning declarations over the whole set, so a
+  // discard in one file of a function declared in another is still caught.
+  std::vector<std::string> status_fns;
+  std::vector<std::pair<std::string, std::string>> contents;
+  std::vector<Violation> out;
+  for (const auto& p : paths) {
+    bool ok = false;
+    std::string c = ReadFileOrEmpty(p, &ok);
+    if (!ok) {
+      out.push_back({p, 0, "io", "cannot read file"});
+      continue;
+    }
+    auto fns = CollectStatusFunctions(c);
+    status_fns.insert(status_fns.end(), fns.begin(), fns.end());
+    contents.emplace_back(p, std::move(c));
+  }
+  std::sort(status_fns.begin(), status_fns.end());
+  status_fns.erase(std::unique(status_fns.begin(), status_fns.end()),
+                   status_fns.end());
+  for (const auto& [p, c] : contents) {
+    auto vs = LintSource(p, c, opts, status_fns);
+    out.insert(out.end(), vs.begin(), vs.end());
+  }
+  return out;
+}
+
+std::vector<std::string> ExpandArg(const std::string& arg,
+                                   const std::string& root) {
+  std::vector<std::string> files;
+  auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+  };
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    for (auto it = fs::recursive_directory_iterator(arg, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file(ec) && is_source(it->path())) {
+        files.push_back(it->path().string());
+      }
+    }
+  } else if (arg.size() > 5 && arg.substr(arg.size() - 5) == ".json") {
+    // compile_commands.json: pull the "file" entries (plus sibling
+    // headers), filtered to `root` when given. Hand-rolled scan — the
+    // format is machine-written, one "file" key per entry.
+    bool ok = false;
+    const std::string content = ReadFileOrEmpty(arg, &ok);
+    if (!ok) return files;
+    std::set<std::string> dirs;
+    const std::string_view kKey = "\"file\"";
+    size_t at = content.find(kKey);
+    while (at != std::string::npos) {
+      const size_t q1 = content.find('"', at + kKey.size() + 1);
+      if (q1 == std::string::npos) break;
+      const size_t q2 = content.find('"', q1 + 1);
+      if (q2 == std::string::npos) break;
+      std::string f = content.substr(q1 + 1, q2 - q1 - 1);
+      if (root.empty() ||
+          NormalizePath(f).find(NormalizePath(root)) != std::string::npos) {
+        files.push_back(f);
+        dirs.insert(fs::path(f).parent_path().string());
+      }
+      at = content.find(kKey, q2);
+    }
+    for (const auto& d : dirs) {
+      for (auto it = fs::directory_iterator(d, ec);
+           !ec && it != fs::directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && is_source(it->path()) &&
+            it->path().extension() != ".cc" &&
+            it->path().extension() != ".cpp") {
+          files.push_back(it->path().string());
+        }
+      }
+    }
+  } else {
+    files.push_back(arg);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace hndplint

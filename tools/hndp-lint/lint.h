@@ -1,0 +1,85 @@
+// hndp-lint: project-invariant checker for the hybridNDP source tree.
+//
+// Generic linters cannot know this repo's determinism contract; these rules
+// encode it (DESIGN.md §13):
+//
+//   wall-clock          No nondeterminism source (std::chrono clocks, rand,
+//                       random_device, time()/clock()/gettimeofday, ...)
+//                       outside the simulation layer (src/sim/) and the
+//                       bench harness (bench/). Simulated timelines must
+//                       replay bit-identically; a stray wall-clock read is
+//                       how that guarantee silently dies.
+//   unordered-serialize No iteration over std::unordered_{map,set} inside a
+//                       serialization function (ToJson/Export*/Serialize*/
+//                       Write*Json): exported JSON ordering must be
+//                       canonical, never hash-order.
+//   raw-new / raw-delete  No raw `new`/`delete` in checked sources; use
+//                       make_unique/containers (`= delete` declarations are
+//                       ignored).
+//   discarded-status    A bare-statement call of a function declared to
+//                       return Status discards the error; check, propagate,
+//                       or void-cast it deliberately.
+//
+// Any finding can be suppressed on its line (or the line above) with
+//   // hndp-lint: allow(<rule>) <one-line justification>
+// The justification is mandatory; a bare allow() is itself a violation
+// (rule "bare-allow").
+//
+// The checker is token/regex based on comment- and string-stripped source —
+// deliberately dependency-free (no libclang); see tools/hndp-lint/README in
+// DESIGN.md §13 for the accepted false-negative envelope.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hndplint {
+
+struct Violation {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct Options {
+  /// Path substrings (checked against '/'-normalized paths) where the
+  /// wall-clock rule does not apply: the simulation layer itself and the
+  /// bench harness (which legitimately measures wall time).
+  std::vector<std::string> wallclock_allowlist = {"src/sim/", "bench/"};
+
+  /// Extra function names (beyond those declared in the linted file set)
+  /// treated as Status-returning for the discarded-status rule.
+  std::vector<std::string> extra_status_functions;
+};
+
+/// Collect the names of functions declared with a `Status` return type in
+/// `content` (used to seed the discarded-status rule across a file set).
+std::vector<std::string> CollectStatusFunctions(std::string_view content);
+
+/// Lint one in-memory source. `status_functions` is the cross-file set of
+/// Status-returning function names (pass the union over all linted files).
+std::vector<Violation> LintSource(
+    const std::string& path, std::string_view content, const Options& opts,
+    const std::vector<std::string>& status_functions);
+
+/// Read + lint one file (two-pass over just that file). Convenience for
+/// tests; returns a violation of rule "io" if the file cannot be read.
+std::vector<Violation> LintFile(const std::string& path, const Options& opts);
+
+/// Lint a whole file set with cross-file Status declarations.
+std::vector<Violation> LintFiles(const std::vector<std::string>& paths,
+                                 const Options& opts);
+
+/// Expand a command-line argument into source paths: a directory is walked
+/// recursively for .h/.cc/.cpp/.hpp files, a compile_commands.json is
+/// parsed for its "file" entries (filtered to those under `root` when
+/// non-empty) plus headers next to them, any other path is taken verbatim.
+std::vector<std::string> ExpandArg(const std::string& arg,
+                                   const std::string& root);
+
+}  // namespace hndplint

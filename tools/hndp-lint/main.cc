@@ -1,0 +1,69 @@
+// hndp-lint CLI. Usage:
+//
+//   hndp-lint [--root <dir>] <path|dir|compile_commands.json>...
+//
+// Directories are walked recursively for C++ sources; a
+// compile_commands.json argument contributes its "file" entries (filtered
+// to --root when given) plus headers next to them. Violations print as
+// `file:line: [rule] message` on stdout.
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hndp-lint: --root needs a value\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      std::fprintf(stderr,
+                   "usage: hndp-lint [--root <dir>] "
+                   "<path|dir|compile_commands.json>...\n");
+      return 2;
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: hndp-lint [--root <dir>] "
+                 "<path|dir|compile_commands.json>...\n");
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const auto& a : args) {
+    const auto expanded = hndplint::ExpandArg(a, root);
+    files.insert(files.end(), expanded.begin(), expanded.end());
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "hndp-lint: no source files matched\n");
+    return 2;
+  }
+
+  hndplint::Options opts;
+  const auto violations = hndplint::LintFiles(files, opts);
+  bool io_error = false;
+  for (const auto& v : violations) {
+    if (v.rule == "io") io_error = true;
+    std::printf("%s\n", v.ToString().c_str());
+  }
+  if (io_error) return 2;
+  if (!violations.empty()) {
+    std::printf("hndp-lint: %zu violation(s) in %zu file(s) checked\n",
+                violations.size(), files.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: a suppression without a justification is itself a violation.
+struct Node {
+  int v = 0;
+};
+
+Node* Singleton() {
+  // hndp-lint: allow(raw-new)
+  static Node* n = new Node();
+  return n;
+}

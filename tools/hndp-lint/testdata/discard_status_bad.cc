@@ -1,0 +1,13 @@
+// Fixture: a bare-statement call of a Status-returning function silently
+// drops the error.
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status Flush();
+Status Open(int fd);
+
+void Run() {
+  Flush();    // discarded
+  Open(3);    // discarded
+}

@@ -1,0 +1,15 @@
+// Fixture: checked, propagated, assigned, and void-cast Status results are
+// all fine.
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status Flush();
+Status Open(int fd);
+
+Status Run() {
+  if (!Open(3).ok()) return Open(3);
+  Status st = Flush();
+  (void)Flush();  // deliberate, visible discard
+  return st;
+}

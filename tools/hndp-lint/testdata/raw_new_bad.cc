@@ -1,0 +1,12 @@
+// Fixture: raw new/delete must be flagged.
+struct Node {
+  int v = 0;
+};
+
+Node* Make() {
+  return new Node();  // raw allocation
+}
+
+void Free(Node* n) {
+  delete n;  // raw deallocation
+}

@@ -1,0 +1,18 @@
+// Fixture: make_unique, deleted special members, and a justified
+// suppression are all clean.
+#include <memory>
+
+struct Node {
+  int v = 0;
+  Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+};
+
+std::unique_ptr<Node> Make() { return std::make_unique<Node>(); }
+
+Node* Singleton() {
+  // hndp-lint: allow(raw-new) leak-on-purpose process singleton
+  static Node* n = new Node();
+  return n;
+}

@@ -1,0 +1,20 @@
+// Fixture: identical wall-clock reads, but the path is under src/sim/ —
+// the simulation layer is the one place allowed to define time.
+#include <chrono>
+#include <ctime>
+
+long NowNanos() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long Epoch() {
+  return std::time(nullptr);
+}
+
+// Member/qualified calls named like libc functions are fine anywhere, but
+// exercise them here too.
+struct Clock {
+  long time() const { return 0; }
+};
+long Member(const Clock& c) { return c.time(); }

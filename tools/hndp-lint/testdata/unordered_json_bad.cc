@@ -1,0 +1,17 @@
+// Fixture: serialization functions must not iterate unordered containers —
+// exported bytes would depend on hash order.
+#include <string>
+#include <unordered_map>
+
+struct Registry {
+  std::unordered_map<std::string, long> counters;
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (const auto& kv : counters) {  // hash-order iteration
+      out += "\"" + kv.first + "\":" + std::to_string(kv.second) + ",";
+    }
+    out += "}";
+    return out;
+  }
+};

@@ -1,0 +1,25 @@
+// Fixture: sorted-map serialization is canonical; unordered iteration in a
+// non-serialization function (e.g. a join build side) is legitimate.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Registry {
+  std::map<std::string, long> counters;
+  std::unordered_map<std::string, long> scratch;
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (const auto& kv : counters) {  // std::map: key-sorted, canonical
+      out += "\"" + kv.first + "\":" + std::to_string(kv.second) + ",";
+    }
+    out += "}";
+    return out;
+  }
+
+  long Sum() const {
+    long total = 0;
+    for (const auto& kv : scratch) total += kv.second;  // order-independent
+    return total;
+  }
+};

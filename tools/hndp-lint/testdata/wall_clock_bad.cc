@@ -1,0 +1,12 @@
+// Fixture: wall-clock reads outside src/sim/ must be flagged.
+#include <chrono>
+#include <ctime>
+
+long NowNanos() {
+  auto t = std::chrono::steady_clock::now();  // wall-clock
+  return t.time_since_epoch().count();
+}
+
+long Epoch() {
+  return std::time(nullptr);  // wall-clock
+}
